@@ -1,0 +1,108 @@
+package asv
+
+import (
+	"asv/internal/core"
+	"asv/internal/dataset"
+	"asv/internal/nn"
+	"asv/internal/stereo"
+)
+
+// ExpScale controls how much data the accuracy experiments process. The
+// paper's datasets are real-image benchmarks; the reproduction generates
+// synthetic equivalents whose volume is configurable so the full suite can
+// run on a laptop (see DESIGN.md, substitutions).
+type ExpScale struct {
+	W, H            int // frame size
+	SceneFlowSeqs   int // number of SceneFlow-like sequences (paper: 26)
+	SceneFlowFrames int // frames per sequence (>= 4 for PW-4)
+	KITTIPairs      int // number of KITTI-like two-frame pairs (paper: 200)
+	Seed            int64
+}
+
+// FullScale runs the complete synthetic benchmark (all 26 SceneFlow-like
+// sequences and 200 KITTI-like pairs).
+func FullScale() ExpScale {
+	return ExpScale{W: 160, H: 96, SceneFlowSeqs: 26, SceneFlowFrames: 8, KITTIPairs: 200, Seed: 1}
+}
+
+// QuickScale is a reduced configuration for tests and smoke runs.
+func QuickScale() ExpScale {
+	return ExpScale{W: 128, H: 80, SceneFlowSeqs: 4, SceneFlowFrames: 4, KITTIPairs: 8, Seed: 1}
+}
+
+// DNNProfile describes one of the paper's stereo DNNs for the oracle-based
+// accuracy experiments: its published three-pixel error rate and its
+// inference cost density.
+type DNNProfile struct {
+	Name       string
+	ErrRatePct float64 // published KITTI-class three-pixel error rate
+	Net        *nn.Network
+}
+
+// StereoDNNProfiles returns the four evaluation networks with their
+// published error rates (KITTI 2015 leaderboard era: PSMNet 2.3%,
+// GC-Net 2.9%, DispNet 4.3%, FlowNetC-style correlation nets ~5.6%).
+func StereoDNNProfiles(h, w int) []DNNProfile {
+	zoo := nn.StereoZoo(h, w)
+	errs := map[string]float64{
+		"FlowNetC": 5.6,
+		"DispNet":  4.3,
+		"GC-Net":   2.9,
+		"PSMNet":   2.3,
+	}
+	out := make([]DNNProfile, len(zoo))
+	for i, n := range zoo {
+		out[i] = DNNProfile{Name: n.Name, ErrRatePct: errs[n.Name], Net: n}
+	}
+	return out
+}
+
+// sceneFlowConfigs and kittiConfigs trim the preset lists to the scale.
+func sceneFlowConfigs(sc ExpScale) []dataset.SceneConfig {
+	cfgs := dataset.SceneFlowLike(sc.W, sc.H, sc.SceneFlowFrames, sc.Seed)
+	if sc.SceneFlowSeqs < len(cfgs) {
+		cfgs = cfgs[:sc.SceneFlowSeqs]
+	}
+	return cfgs
+}
+
+func kittiConfigs(sc ExpScale) []dataset.SceneConfig {
+	return dataset.KITTILike(sc.W, sc.H, sc.KITTIPairs, sc.Seed+7777)
+}
+
+// runAccuracy evaluates one (DNN, propagation window) point: it streams
+// every sequence through an ISM pipeline whose key frames come from a
+// ground-truth oracle corrupted to the DNN's published error rate, and
+// returns the mean three-pixel error over all frames (key and non-key),
+// matching the paper's Fig. 9 protocol. pw=1 measures the DNN alone.
+func runAccuracy(cfgs []dataset.SceneConfig, prof DNNProfile, pw int, seed int64) float64 {
+	pcfg := core.DefaultConfig()
+	pcfg.PW = pw
+	var errSum float64
+	var n int
+	for i, cfg := range cfgs {
+		seq := dataset.Generate(cfg)
+		oracle := &core.OracleMatcher{
+			ModelName:     prof.Name,
+			ErrRatePct:    prof.ErrRatePct,
+			SubpixelSigma: 0.3,
+			Seed:          seed + int64(i)*131,
+		}
+		pipe := core.New(nil, pcfg)
+		for _, fr := range seq.Frames {
+			var res core.Result
+			if pipe.NextIsKey() {
+				oracle.SetGT(fr.GT)
+				res = pipe.ProcessKey(fr.Left, fr.Right, oracle.Match(fr.Left, fr.Right), 0)
+			} else {
+				res = pipe.ProcessNonKey(fr.Left, fr.Right)
+			}
+			errSum += stereo.ThreePixelError(res.Disparity, fr.GT)
+			n++
+		}
+	}
+	if n == 0 {
+		return 0
+	}
+	return errSum / float64(n)
+}

@@ -1,0 +1,90 @@
+// Command asvsched compiles one network onto the ASV accelerator under a
+// chosen scheduling policy and dumps the per-layer schedule: cycles, MACs,
+// DRAM traffic and rounds. It is the inspection tool for the dataflow
+// optimizer of paper Sec. 4.2.
+//
+// Usage:
+//
+//	asvsched -net FlowNetC -policy ilar
+//	asvsched -net DCGAN -policy baseline -h 540 -w 960
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"text/tabwriter"
+
+	"asv"
+)
+
+func main() {
+	netName := flag.String("net", "FlowNetC", "network (FlowNetC, DispNet, GC-Net, PSMNet, DCGAN, GP-GAN, ArtGAN, MAGAN, 3D-GAN, DiscoGAN)")
+	policy := flag.String("policy", "ilar", "scheduling policy (baseline|dct|convr|ilar)")
+	height := flag.Int("h", asv.QHDH, "input height (stereo networks)")
+	width := flag.Int("w", asv.QHDW, "input width (stereo networks)")
+	asJSON := flag.Bool("json", false, "emit the full report as JSON instead of a table")
+	summary := flag.Bool("summary", false, "print the network architecture and exit")
+	flag.Parse()
+
+	var net *asv.Network
+	for _, n := range asv.StereoDNNs(*height, *width) {
+		if strings.EqualFold(n.Name, *netName) {
+			net = n
+		}
+	}
+	for _, n := range asv.GANs() {
+		if strings.EqualFold(n.Name, *netName) {
+			net = n
+		}
+	}
+	if net == nil {
+		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
+		os.Exit(2)
+	}
+
+	pol, ok := map[string]asv.Policy{
+		"baseline": asv.PolicyBaseline,
+		"dct":      asv.PolicyDCT,
+		"convr":    asv.PolicyConvR,
+		"ilar":     asv.PolicyILAR,
+	}[strings.ToLower(*policy)]
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
+		os.Exit(2)
+	}
+
+	if *summary {
+		fmt.Print(net.Summary())
+		return
+	}
+
+	acc := asv.DefaultAccelerator()
+	rep := acc.RunNetwork(net, pol)
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(rep); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
+
+	fmt.Printf("%s under policy %v on 24x24 PEs / 1.5 MB / 25.6 GB/s\n\n", net.Name, pol)
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(w, "layer\tkind\tcycles\tMACs\tDRAM-MB\trounds")
+	for i, r := range rep.PerLayer {
+		l := net.Layers[i]
+		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%.2f\t%d\n",
+			r.Name, l.Kind, r.Cycles, r.MACs, float64(r.DRAMBytes)/1e6, r.Rounds)
+	}
+	w.Flush()
+
+	fmt.Printf("\ntotal: %.3f ms, %.2f GMACs, %.1f MB DRAM, %.3f J (%.1f FPS)\n",
+		rep.Seconds*1e3, float64(rep.MACs)/1e9, float64(rep.DRAMBytes)/1e6,
+		rep.EnergyJ, rep.FPS())
+}

@@ -1,0 +1,101 @@
+package asv_test
+
+import (
+	"fmt"
+	"math"
+
+	"asv"
+)
+
+// The classic depth-from-stereo loop: match a rectified pair, then
+// triangulate the disparity into metric depth.
+func Example() {
+	seq := asv.GenerateSequence(asv.SceneConfig{
+		W: 128, H: 80, FrameCount: 1, Layers: 2,
+		MinDisp: 2, MaxDisp: 16, Seed: 7,
+	})
+	fr := seq.Frames[0]
+
+	opt := asv.DefaultSGMOptions()
+	opt.MaxDisp = 20
+	disp := asv.SGM(fr.Left, fr.Right, opt)
+
+	fmt.Println("error under 5%:", asv.ThreePixelError(disp, fr.GT) < 5)
+	depth := asv.Bumblebee2().DepthMap(disp)
+	fmt.Println("finite center depth:", !math.IsInf(float64(depth.At(64, 40)), 1))
+	// Output:
+	// error under 5%: true
+	// finite center depth: true
+}
+
+// ISM runs the expensive matcher only on key frames; the frames between
+// ride the correspondence invariant.
+func ExamplePipeline() {
+	cfg := asv.DefaultPipelineConfig()
+	cfg.PW = 2
+	sgm := asv.DefaultSGMOptions()
+	sgm.MaxDisp = 20
+	pipe := asv.NewPipeline(asv.SGMKeyMatcher{Opt: sgm}, cfg)
+
+	seq := asv.GenerateSequence(asv.SceneConfig{
+		W: 128, H: 80, FrameCount: 4, Layers: 2,
+		MinDisp: 2, MaxDisp: 16, MaxVel: 1, Seed: 8,
+	})
+	for _, fr := range seq.Frames {
+		res := pipe.Process(fr.Left, fr.Right)
+		fmt.Printf("key=%v ok=%v\n", res.IsKey, asv.ThreePixelError(res.Disparity, fr.GT) < 10)
+	}
+	// Output:
+	// key=true ok=true
+	// key=false ok=true
+	// key=true ok=true
+	// key=false ok=true
+}
+
+// The deconvolution transformation is exact: decomposed dense
+// sub-convolutions reproduce the sparse operator bit for bit.
+func ExampleTransformedDeconv2D() {
+	in := asv.NewTensor(2, 6, 6)
+	for i := range in.Data() {
+		in.Data()[i] = float32(i%13) - 6
+	}
+	w := asv.NewTensor(3, 2, 4, 4)
+	for i := range w.Data() {
+		w.Data()[i] = float32(i%7) - 3
+	}
+	const pad = 2 // transposed-conv padding 1 for a 4x4 kernel
+	ref := asv.Deconv2D(in, w, 2, pad)
+	got := asv.TransformedDeconv2D(in, w, pad)
+
+	var maxDiff float64
+	for i := range ref.Data() {
+		if d := math.Abs(float64(ref.Data()[i] - got.Data()[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Println("identical:", maxDiff == 0)
+	// Output:
+	// identical: true
+}
+
+// The accelerator model compares scheduling policies on a real network.
+func ExampleAccelerator_RunNetwork() {
+	acc := asv.DefaultAccelerator()
+	net := asv.StereoDNNs(135, 240)[1] // DispNet at reduced resolution
+	base := acc.RunNetwork(net, asv.PolicyBaseline)
+	opt := acc.RunNetwork(net, asv.PolicyILAR)
+	fmt.Println("DCO faster:", opt.Cycles < base.Cycles)
+	fmt.Println("DCO cheaper:", opt.EnergyJ < base.EnergyJ)
+	// Output:
+	// DCO faster: true
+	// DCO cheaper: true
+}
+
+// Triangulation sensitivity: the Fig. 4 calculation.
+func ExampleCamera_DepthError() {
+	cam := asv.Bumblebee2()
+	fmt.Printf("30m object, 0.2px disparity error: %.1fm depth error\n",
+		cam.DepthError(30, 0.2))
+	// Output:
+	// 30m object, 0.2px disparity error: 3.9m depth error
+}

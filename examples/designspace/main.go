@@ -1,0 +1,44 @@
+// Designspace: explore how ASV's deconvolution optimizations respond to
+// the accelerator's resource budget (paper Sec. 7.4, Fig. 12). The example
+// sweeps the PE array and on-chip buffer, printing the DCO speedup and
+// energy reduction normalized to each configuration's own baseline —
+// demonstrating that the optimizations are not tuned to one design point.
+package main
+
+import (
+	"fmt"
+
+	"asv"
+)
+
+func main() {
+	net := asv.StereoDNNs(asv.QHDH, asv.QHDW)[0] // FlowNetC, as in the paper
+	pes := []int{8, 16, 24, 32, 48}
+	bufsMB := []float64{0.5, 1.5, 3.0}
+
+	fmt.Printf("DCO speedup / energy reduction on %s, per configuration\n\n", net.Name)
+	fmt.Printf("%8s", "buf\\PE")
+	for _, pe := range pes {
+		fmt.Printf("  %7dx%-2d", pe, pe)
+	}
+	fmt.Println()
+
+	for _, mb := range bufsMB {
+		fmt.Printf("%7.1fM", mb)
+		for _, pe := range pes {
+			cfg := asv.DefaultHW()
+			cfg.PEsX, cfg.PEsY = pe, pe
+			cfg.BufBytes = int64(mb * 1024 * 1024)
+			acc := asv.NewAccelerator(cfg, asv.DefaultEnergyModel())
+			base := acc.RunNetwork(net, asv.PolicyBaseline)
+			dco := acc.RunNetwork(net, asv.PolicyILAR)
+			fmt.Printf("  %4.2fx/%2.0f%%",
+				float64(base.Cycles)/float64(dco.Cycles),
+				100*(1-dco.EnergyJ/base.EnergyJ))
+		}
+		fmt.Println()
+	}
+
+	fmt.Println("\nThe gains hold across the design space (paper: 1.2-1.5x and")
+	fmt.Println("25-35% across PE arrays from 8x8 to 56x56 and buffers to 3 MB).")
+}

@@ -1,0 +1,75 @@
+// Ganopt: apply ASV's deconvolution optimizations to a GAN generator
+// (paper Sec. 7.6). The example shows the three layers of the story:
+//
+//  1. the functional transformation is exact — a stride-2 deconvolution
+//     decomposed into dense sub-convolutions returns the same tensor;
+//  2. it deletes ~75% of the MACs of every 2-D deconvolution; and
+//  3. on the accelerator model the full optimization (transformation +
+//     ILAR scheduling) beats both the naive baseline and a GANNX-class
+//     dedicated deconvolution accelerator.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"asv"
+)
+
+func main() {
+	// 1. Exactness on a DCGAN-shaped layer (512 -> 256 channels, 4x4
+	// kernel, stride 2), shrunk spatially to keep the demo instant.
+	in := asv.NewTensor(64, 8, 8)
+	for i := range in.Data() {
+		in.Data()[i] = float32(math.Sin(float64(i) * 0.37))
+	}
+	k := asv.NewTensor(32, 64, 4, 4)
+	for i := range k.Data() {
+		k.Data()[i] = float32(math.Cos(float64(i) * 0.11))
+	}
+	const pad = 2 // transposed-conv padding 1 for a 4x4 kernel
+	ref := asv.Deconv2D(in, k, 2, pad)
+	got := asv.TransformedDeconv2D(in, k, pad)
+	var maxDiff float64
+	for i := range ref.Data() {
+		if d := math.Abs(float64(ref.Data()[i] - got.Data()[i])); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	fmt.Printf("transformation exactness: max |Δ| = %.2g over %d outputs\n\n",
+		maxDiff, ref.Len())
+
+	// 2. MAC reduction per layer of the real DCGAN generator.
+	dcgan := asv.GANs()[0]
+	fmt.Println("DCGAN layer          naive-MMACs  effective-MMACs  saved")
+	for _, l := range dcgan.Layers {
+		naive := l.MACs()
+		eff := asv.EffectiveMACs(l)
+		fmt.Printf("%-20s %11.1f  %15.1f  %4.0f%%\n",
+			l.Name, float64(naive)/1e6, float64(eff)/1e6,
+			100*(1-float64(eff)/float64(naive)))
+	}
+
+	// 3. End-to-end on the accelerator models.
+	acc := asv.DefaultAccelerator()
+	eye := asv.DefaultEyeriss()
+	gx := asv.DefaultGANNX()
+	fmt.Println("\nsystem                per-inference     vs Eyeriss")
+	ref2 := eye.RunNetwork(dcgan, false)
+	for _, row := range []struct {
+		name string
+		rep  asv.Report
+	}{
+		{"Eyeriss", ref2},
+		{"GANNX (dedicated HW)", gx.RunNetwork(dcgan)},
+		{"ASV baseline", acc.RunNetwork(dcgan, asv.PolicyBaseline)},
+		{"ASV + DCT", acc.RunNetwork(dcgan, asv.PolicyDCT)},
+		{"ASV + DCT + ILAR", acc.RunNetwork(dcgan, asv.PolicyILAR)},
+	} {
+		fmt.Printf("%-21s %9.3f ms     %5.2fx\n",
+			row.name, row.rep.Seconds*1e3, ref2.Seconds/row.rep.Seconds)
+	}
+	fmt.Println("\nASV's software-only pipeline outruns the purpose-built GANNX")
+	fmt.Println("hardware because the transformation exposes inter-layer")
+	fmt.Println("activation reuse that dedicated zero-skipping cannot see.")
+}

@@ -1,0 +1,39 @@
+// Rectifydrift: stereo rigs drift out of calibration in the field (thermal
+// flex, vibration). This example shows what a small rotation of one camera
+// does to stereo matching, and how software rectification restores it —
+// the preprocessing every depth-from-stereo system, including ASV, sits on
+// top of (the paper's Equ. 2 assumes y_r = y_l).
+package main
+
+import (
+	"fmt"
+
+	"asv"
+)
+
+func main() {
+	seq := asv.GenerateSequence(asv.SceneConfig{
+		W: 160, H: 100, FrameCount: 1,
+		Layers: 2, MinDisp: 2, MaxDisp: 16, Seed: 31,
+	})
+	fr := seq.Frames[0]
+	in := asv.DefaultIntrinsics(fr.Left.W, fr.Left.H)
+
+	opt := asv.DefaultSGMOptions()
+	opt.MaxDisp = 20
+	measure := func(right *asv.Image) float64 {
+		return asv.ThreePixelError(asv.SGM(fr.Left, right, opt), fr.GT)
+	}
+
+	fmt.Println("right-camera roll   raw error-%   rectified error-%")
+	for _, rollDeg := range []float64{0, 0.5, 1.0, 2.0} {
+		r := asv.Rotation(rollDeg*3.14159/180, 0, 0)
+		captured := asv.MisalignImage(fr.Right, in, r)
+		raw := measure(captured)
+		fixed := measure(asv.RectifyImage(captured, in, r))
+		fmt.Printf("%10.1f°        %8.2f      %8.2f\n", rollDeg, raw, fixed)
+	}
+
+	fmt.Println("\nEven one degree of roll breaks the rows-correspond assumption that")
+	fmt.Println("every stereo matcher relies on; rectification restores it in software.")
+}

@@ -1,0 +1,297 @@
+package asv
+
+import (
+	"math"
+	"testing"
+)
+
+func TestExperimentFig3MatchesPaperShape(t *testing.T) {
+	rows := ExperimentFig3()
+	if len(rows) != 4 {
+		t.Fatalf("expected 4 networks, got %d", len(rows))
+	}
+	var deconvSum float64
+	for _, r := range rows {
+		total := r.FEPct + r.MOPct + r.DRPct
+		if total < 99 || total > 101 {
+			t.Errorf("%s: stage shares sum to %.1f%%", r.Net, total)
+		}
+		if r.DRPct <= 0 {
+			t.Errorf("%s: DR stage empty", r.Net)
+		}
+		deconvSum += r.DeconvPct
+	}
+	// Paper: deconvolution averages 38.2% of total MACs.
+	if avg := deconvSum / 4; avg < 25 || avg > 50 {
+		t.Errorf("average deconv share %.1f%%, want near 38%%", avg)
+	}
+}
+
+func TestExperimentFig4MatchesPaperShape(t *testing.T) {
+	pts := ExperimentFig4()
+	if len(pts) == 0 {
+		t.Fatal("no points")
+	}
+	// At zero disparity error the depth error must be zero; at 30 m and
+	// 0.2 px it must reach metres (paper: 0.5–5 m band).
+	byKey := map[[2]float64]float64{}
+	for _, p := range pts {
+		byKey[[2]float64{p.DepthM, math.Round(p.DispErrPx * 100)}] = p.DepthErrM
+	}
+	if byKey[[2]float64{30, 0}] > 1e-6 {
+		t.Fatal("zero disparity error should give (numerically) zero depth error")
+	}
+	if e := byKey[[2]float64{30, 20}]; e < 2 || e > 6 {
+		t.Fatalf("30m/0.2px depth error = %.2fm, want metres-scale", e)
+	}
+	if byKey[[2]float64{10, 20}] >= byKey[[2]float64{30, 20}] {
+		t.Fatal("depth error should grow with distance")
+	}
+}
+
+func TestExperimentFig9QuickShape(t *testing.T) {
+	rows := ExperimentFig9(QuickScale())
+	// 4 networks x (3 SceneFlow modes + 2 KITTI modes).
+	if len(rows) != 20 {
+		t.Fatalf("expected 20 rows, got %d", len(rows))
+	}
+	get := func(ds, net, mode string) float64 {
+		for _, r := range rows {
+			if r.Dataset == ds && r.Net == net && r.Mode == mode {
+				return r.ErrorPct
+			}
+		}
+		t.Fatalf("missing row %s/%s/%s", ds, net, mode)
+		return 0
+	}
+	for _, net := range []string{"FlowNetC", "DispNet", "GC-Net", "PSMNet"} {
+		dnn := get("SceneFlow", net, "DNN")
+		pw2 := get("SceneFlow", net, "PW-2")
+		pw4 := get("SceneFlow", net, "PW-4")
+		// The Fig. 9 claim: PW-2 tracks the DNN closely; PW-4 degrades only
+		// slightly. Synthetic scenes are harder on flow than SceneFlow, so
+		// allow a few percentage points rather than the paper's 0.02%.
+		if pw2 > dnn+6 {
+			t.Errorf("%s: PW-2 error %.2f%% strays from DNN %.2f%%", net, pw2, dnn)
+		}
+		if pw4 > dnn+8 {
+			t.Errorf("%s: PW-4 error %.2f%% strays from DNN %.2f%%", net, pw4, dnn)
+		}
+		if dnn <= 0 {
+			t.Errorf("%s: DNN error rate must be positive", net)
+		}
+	}
+	// More accurate DNNs should stay more accurate through ISM.
+	if get("SceneFlow", "PSMNet", "DNN") >= get("SceneFlow", "FlowNetC", "DNN") {
+		t.Error("PSMNet oracle should beat FlowNetC oracle")
+	}
+}
+
+func TestExperimentFig10MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qHD model sweep")
+	}
+	rows := ExperimentFig10()
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 rows, got %d", len(rows))
+	}
+	var bothSp, bothEn float64
+	for _, r := range rows {
+		if r.Speedup <= 1 {
+			t.Errorf("%s/%s: speedup %.2f <= 1", r.Net, r.Variant, r.Speedup)
+		}
+		if r.Variant == "DCO+ISM" {
+			bothSp += r.Speedup
+			bothEn += r.EnergyRedPct
+		}
+	}
+	if avg := bothSp / 4; avg < 4 || avg > 7 {
+		t.Errorf("combined speedup avg %.2fx, paper: 4.9x", avg)
+	}
+	if avg := bothEn / 4; avg < 75 || avg > 92 {
+		t.Errorf("combined energy saving avg %.1f%%, paper: 85%%", avg)
+	}
+}
+
+func TestExperimentFig11MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qHD model sweep")
+	}
+	rows := ExperimentFig11()
+	if len(rows) != 12 {
+		t.Fatalf("expected 12 rows, got %d", len(rows))
+	}
+	byNetOpt := map[string]DeconvOptRow{}
+	for _, r := range rows {
+		byNetOpt[r.Net+"/"+r.Opt] = r
+	}
+	// DCT supplies the bulk of the deconv-layer speedup (~3.9x on 2-D).
+	if d := byNetOpt["DispNet/DCT"].DeconvSpeedup; d < 3.2 || d > 5 {
+		t.Errorf("DispNet DCT deconv speedup %.2fx, want ~3.9x", d)
+	}
+	// 3-D networks gain more.
+	if byNetOpt["PSMNet/DCT"].DeconvSpeedup <= byNetOpt["DispNet/DCT"].DeconvSpeedup {
+		t.Error("3-D nets should gain more from the transformation")
+	}
+	// ILAR's edge over ConvR is energy, not speed (paper Sec. 7.3).
+	for _, net := range []string{"FlowNetC", "DispNet", "GC-Net", "PSMNet"} {
+		convr := byNetOpt[net+"/ConvR"]
+		ilar := byNetOpt[net+"/ILAR"]
+		if ilar.DeconvEnergyRedPct < convr.DeconvEnergyRedPct-1 {
+			t.Errorf("%s: ILAR deconv energy saving %.1f%% below ConvR %.1f%%",
+				net, ilar.DeconvEnergyRedPct, convr.DeconvEnergyRedPct)
+		}
+	}
+}
+
+func TestExperimentFig12MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("hardware sweep")
+	}
+	g := ExperimentFig12()
+	if len(g.Speedup) != len(g.BufsMB) || len(g.Speedup[0]) != len(g.PEs) {
+		t.Fatal("grid dimensions wrong")
+	}
+	for i := range g.Speedup {
+		for j := range g.Speedup[i] {
+			if s := g.Speedup[i][j]; s < 1.15 || s > 1.75 {
+				t.Errorf("speedup[%d][%d] = %.2f outside the 1.2–1.5x band (with tolerance)", i, j, s)
+			}
+			if e := g.EnergyRed[i][j]; e < 0.15 || e > 0.45 {
+				t.Errorf("energyRed[%d][%d] = %.2f outside the 25–35%% band (with tolerance)", i, j, e)
+			}
+		}
+	}
+	// Paper: speedup is more pronounced on small PE arrays, where execution
+	// is compute-bound. The effect shows on the large-buffer rows.
+	last := g.Speedup[len(g.Speedup)-1]
+	if last[0] <= last[len(last)-1] {
+		t.Errorf("DCO speedup should shrink as the PE array grows (3 MB row): %v", last)
+	}
+}
+
+func TestExperimentFig13MatchesPaperShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qHD model sweep")
+	}
+	rows := ExperimentFig13()
+	by := map[string]BaselineRow{}
+	for _, r := range rows {
+		by[r.System] = r
+	}
+	if by["Eyeriss"].Speedup != 1 || by["Eyeriss"].NormEnergy != 1 {
+		t.Fatal("Eyeriss must be the normalization reference")
+	}
+	if !(by["ASV-DCO+ISM"].Speedup > by["ASV-ISM"].Speedup &&
+		by["ASV-ISM"].Speedup > by["ASV-DCO"].Speedup &&
+		by["ASV-DCO"].Speedup > by["Eyeriss+DCT"].Speedup &&
+		by["Eyeriss+DCT"].Speedup > 1) {
+		t.Fatalf("speedup ordering violated: %+v", rows)
+	}
+	if by["GPU"].Speedup >= 1 {
+		t.Error("the mobile GPU should trail Eyeriss")
+	}
+	if by["ASV-DCO+ISM"].NormEnergy >= by["ASV-DCO"].NormEnergy {
+		t.Error("combined system should use the least energy")
+	}
+	if b := by["ASV-DCO+ISM"].Speedup; b < 5 || b > 14 {
+		t.Errorf("combined speedup vs Eyeriss %.1fx, paper: 8.2x", b)
+	}
+}
+
+func TestExperimentFig14MatchesPaperShape(t *testing.T) {
+	rows := ExperimentFig14()
+	if len(rows) != 6 {
+		t.Fatalf("expected 6 GANs, got %d", len(rows))
+	}
+	var asvSp, gxSp float64
+	for _, r := range rows {
+		if r.ASVSpeedup <= 1 || r.GANNXSpeedup <= 1 {
+			t.Errorf("%s: both systems should beat Eyeriss (%+v)", r.GAN, r)
+		}
+		if r.ASVSpeedup < r.GANNXSpeedup-0.05 {
+			t.Errorf("%s: ASV (%.2fx) should not lose to GANNX (%.2fx)", r.GAN, r.ASVSpeedup, r.GANNXSpeedup)
+		}
+		asvSp += r.ASVSpeedup
+		gxSp += r.GANNXSpeedup
+	}
+	// Paper: ASV averages 1.4x over GANNX.
+	ratio := asvSp / gxSp
+	if ratio < 1.1 || ratio > 1.9 {
+		t.Errorf("ASV/GANNX average ratio %.2f, paper: ~1.4", ratio)
+	}
+}
+
+func TestExperimentSec71(t *testing.T) {
+	o := ExperimentSec71()
+	if o.PEAreaPct < 6 || o.PEAreaPct > 6.6 {
+		t.Errorf("per-PE area overhead %.2f%%, paper: 6.3%%", o.PEAreaPct)
+	}
+	if o.TotalAreaPct >= 0.5 || o.TotalPowerPct >= 0.5 {
+		t.Errorf("total overhead must stay under 0.5%% (got %.2f%%/%.2f%%)",
+			o.TotalAreaPct, o.TotalPowerPct)
+	}
+}
+
+func TestExperimentSec33(t *testing.T) {
+	row := ExperimentSec33()
+	// Paper: ~87 MOps per qHD non-key frame; ours lands the same order.
+	if row.NonKeyMACs < 30e6 || row.NonKeyMACs > 500e6 {
+		t.Fatalf("non-key MACs = %d, want O(100M)", row.NonKeyMACs)
+	}
+	for net, r := range row.DNNRatio {
+		if r < 100 || r > 5e5 {
+			t.Errorf("%s: DNN/non-key ratio %.0fx outside 10^2–10^4 (x5 slack)", net, r)
+		}
+	}
+}
+
+func TestExperimentFig1QuickShape(t *testing.T) {
+	pts := ExperimentFig1(QuickScale())
+	var classics, dnnAcc, dnnGPU, asv int
+	var asvPt FrontierPoint
+	for _, p := range pts {
+		switch p.Class {
+		case "classic":
+			classics++
+			if p.FPS < 1 {
+				t.Errorf("%s: classic algorithms should be fast (%.2f FPS)", p.Name, p.FPS)
+			}
+		case "dnn-acc":
+			dnnAcc++
+		case "dnn-gpu":
+			dnnGPU++
+		case "asv":
+			asv++
+			asvPt = p
+		}
+	}
+	if classics != 4 || dnnAcc != 4 || dnnGPU != 4 || asv != 1 {
+		t.Fatalf("unexpected point counts: %d/%d/%d/%d", classics, dnnAcc, dnnGPU, asv)
+	}
+	// The headline: ASV is simultaneously fast and accurate.
+	if asvPt.FPS < 20 {
+		t.Errorf("ASV FPS %.1f, want near real-time", asvPt.FPS)
+	}
+	for _, p := range pts {
+		if p.Class == "dnn-gpu" && p.FPS >= asvPt.FPS {
+			t.Errorf("%s on GPU (%.2f FPS) should not beat ASV (%.2f FPS)", p.Name, p.FPS, asvPt.FPS)
+		}
+	}
+}
+
+func TestExperimentIndexComplete(t *testing.T) {
+	idx := ExperimentIndex()
+	if len(idx) != 15 {
+		t.Fatalf("expected 15 experiments, got %d", len(idx))
+	}
+}
+
+func TestRenderFloat(t *testing.T) {
+	cases := map[float64]string{0: "0", 0.5: "0.500", 3.14159: "3.14", 250: "250"}
+	for v, want := range cases {
+		if got := renderFloat(v); got != want {
+			t.Errorf("renderFloat(%v) = %q, want %q", v, got, want)
+		}
+	}
+}

@@ -1,0 +1,3 @@
+module asv
+
+go 1.22

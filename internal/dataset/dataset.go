@@ -1,0 +1,327 @@
+// Package dataset procedurally generates stereo video with dense
+// ground-truth disparity, standing in for the SceneFlow and KITTI datasets
+// used in the paper (see DESIGN.md, substitution table).
+//
+// A scene is a stack of textured layers: a far background, an optional
+// ground plane whose disparity grows towards the bottom of the frame, and a
+// set of foreground billboards at different depths. Layers translate and
+// change depth over time, producing exactly the signal ISM exploits:
+// temporally coherent stereo correspondences. Because the scene is
+// synthetic, every frame carries exact per-pixel disparity ground truth.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"asv/internal/imgproc"
+	"asv/internal/par"
+)
+
+// FramePair is one time step of a stereo sequence: rectified left/right
+// images and the ground-truth disparity on the left grid (negative values
+// mark pixels without ground truth; the generator produces full coverage).
+// FlowU/FlowV carry the ground-truth motion of every left-view pixel to
+// the *next* frame (the owning layer's image-space velocity), enabling
+// direct evaluation of motion estimators.
+type FramePair struct {
+	Left, Right  *imgproc.Image
+	GT           *imgproc.Image
+	FlowU, FlowV *imgproc.Image
+}
+
+// Sequence is a named stereo video.
+type Sequence struct {
+	Name   string
+	Frames []FramePair
+}
+
+// SceneConfig parameterizes the procedural generator.
+type SceneConfig struct {
+	W, H       int     // frame size
+	FrameCount int     // number of stereo pairs
+	Layers     int     // number of foreground billboards
+	MinDisp    float64 // disparity of the far background (pixels)
+	MaxDisp    float64 // disparity ceiling for foreground objects
+	MaxVel     float64 // max image-space speed of a billboard (px/frame)
+	MaxDispVel float64 // max disparity change per frame (depth motion)
+	Ground     bool    // include a ground plane with a disparity ramp
+	Noise      float64 // std-dev of per-image additive sensor noise
+	// RightGain multiplies the right image's pixel values (0 means 1.0):
+	// photometric mismatch between the cameras (exposure/vignetting), the
+	// condition that separates absolute-difference costs from census-based
+	// ones.
+	RightGain float64
+	Seed      int64
+}
+
+// Validate panics if the configuration is unusable.
+func (c SceneConfig) Validate() {
+	if c.W < 16 || c.H < 16 {
+		panic(fmt.Sprintf("dataset: frame %dx%d too small", c.W, c.H))
+	}
+	if c.FrameCount < 1 {
+		panic("dataset: need at least one frame")
+	}
+	if c.MinDisp < 0 || c.MaxDisp < c.MinDisp {
+		panic(fmt.Sprintf("dataset: bad disparity range [%v, %v]", c.MinDisp, c.MaxDisp))
+	}
+}
+
+// layer is one textured element of the scene.
+type layer struct {
+	tex         *imgproc.Image
+	x0, y0      float64 // anchor of the billboard in left-view coordinates
+	w, h        float64 // billboard extent (0 means full frame)
+	vx, vy      float64 // image-space velocity
+	disp        float64 // disparity at t=0
+	dvel        float64 // disparity velocity
+	ground      bool    // disparity ramps from horizon to bottom
+	groundSlope float64
+	horizon     float64
+}
+
+// dispAt returns the layer's disparity at left-view pixel (x, y) and time t.
+func (l *layer) dispAt(y float64, t int) float64 {
+	d := l.disp + l.dvel*float64(t)
+	if l.ground && y > l.horizon {
+		d += l.groundSlope * (y - l.horizon)
+	}
+	if d < 0 {
+		d = 0
+	}
+	return d
+}
+
+// coversLeft reports whether the layer covers left-view pixel (x, y) at
+// time t, and the texture coordinates if so.
+func (l *layer) coversLeft(x, y float64, t int) (tx, ty float64, ok bool) {
+	lx := l.x0 + l.vx*float64(t)
+	ly := l.y0 + l.vy*float64(t)
+	if l.w > 0 {
+		if x < lx || x >= lx+l.w || y < ly || y >= ly+l.h {
+			return 0, 0, false
+		}
+	}
+	if l.ground && y <= l.horizon {
+		return 0, 0, false
+	}
+	return x - lx, y - ly, true
+}
+
+// noiseTexture builds a multi-octave value-noise texture with enough local
+// structure for block matching to lock onto.
+func noiseTexture(rng *rand.Rand, w, h int) *imgproc.Image {
+	out := imgproc.NewImage(w, h)
+	octaves := []struct {
+		cell int
+		amp  float32
+	}{{16, 0.45}, {7, 0.3}, {3, 0.25}}
+	for _, oct := range octaves {
+		gw := w/oct.cell + 2
+		gh := h/oct.cell + 2
+		grid := make([]float32, gw*gh)
+		for i := range grid {
+			grid[i] = rng.Float32()
+		}
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				fx := float64(x) / float64(oct.cell)
+				fy := float64(y) / float64(oct.cell)
+				x0, y0 := int(fx), int(fy)
+				dx := float32(fx - float64(x0))
+				dy := float32(fy - float64(y0))
+				v00 := grid[y0*gw+x0]
+				v10 := grid[y0*gw+x0+1]
+				v01 := grid[(y0+1)*gw+x0]
+				v11 := grid[(y0+1)*gw+x0+1]
+				top := v00 + dx*(v10-v00)
+				bot := v01 + dx*(v11-v01)
+				out.Pix[y*w+x] += oct.amp * (top + dy*(bot-top))
+			}
+		}
+	}
+	return out
+}
+
+// sampleTex samples a texture with wrap-around (textures tile, so moving
+// layers never run out of content).
+func sampleTex(tex *imgproc.Image, x, y float64) float32 {
+	xi := math.Mod(x, float64(tex.W))
+	if xi < 0 {
+		xi += float64(tex.W)
+	}
+	yi := math.Mod(y, float64(tex.H))
+	if yi < 0 {
+		yi += float64(tex.H)
+	}
+	return tex.Bilinear(float32(xi), float32(yi))
+}
+
+// Generate renders a full stereo sequence from the configuration.
+func Generate(cfg SceneConfig) *Sequence {
+	cfg.Validate()
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	var layers []*layer
+
+	// Background: full-frame, at MinDisp, slowly panning (camera yaw).
+	bg := &layer{
+		tex:  noiseTexture(rng, cfg.W*2, cfg.H*2),
+		vx:   (rng.Float64()*2 - 1) * cfg.MaxVel * 0.3,
+		disp: cfg.MinDisp,
+	}
+	layers = append(layers, bg)
+
+	if cfg.Ground {
+		horizon := float64(cfg.H) * (0.4 + 0.2*rng.Float64())
+		g := &layer{
+			tex:         noiseTexture(rng, cfg.W*2, cfg.H*2),
+			disp:        cfg.MinDisp + 1,
+			ground:      true,
+			horizon:     horizon,
+			groundSlope: (cfg.MaxDisp - cfg.MinDisp - 1) / (float64(cfg.H) - horizon) * 0.8,
+		}
+		layers = append(layers, g)
+	}
+
+	for i := 0; i < cfg.Layers; i++ {
+		w := float64(cfg.W) * (0.15 + 0.25*rng.Float64())
+		h := float64(cfg.H) * (0.15 + 0.25*rng.Float64())
+		l := &layer{
+			tex:  noiseTexture(rng, int(w)+8, int(h)+8),
+			x0:   rng.Float64() * (float64(cfg.W) - w),
+			y0:   rng.Float64() * (float64(cfg.H) - h),
+			w:    w,
+			h:    h,
+			vx:   (rng.Float64()*2 - 1) * cfg.MaxVel,
+			vy:   (rng.Float64()*2 - 1) * cfg.MaxVel * 0.4,
+			disp: cfg.MinDisp + 2 + rng.Float64()*(cfg.MaxDisp-cfg.MinDisp-2),
+			dvel: (rng.Float64()*2 - 1) * cfg.MaxDispVel,
+		}
+		layers = append(layers, l)
+	}
+
+	seq := &Sequence{Name: fmt.Sprintf("synthetic-%d", cfg.Seed)}
+	for t := 0; t < cfg.FrameCount; t++ {
+		seq.Frames = append(seq.Frames, renderFrame(cfg, layers, t, rng))
+	}
+	return seq
+}
+
+// renderFrame rasterizes both views and the ground truth for time t.
+// For every pixel we walk the layers from near to far (largest current
+// disparity first) and keep the first hit, which models occlusion exactly.
+func renderFrame(cfg SceneConfig, layers []*layer, t int, rng *rand.Rand) FramePair {
+	left := imgproc.NewImage(cfg.W, cfg.H)
+	right := imgproc.NewImage(cfg.W, cfg.H)
+	gt := imgproc.NewImage(cfg.W, cfg.H)
+	flowU := imgproc.NewImage(cfg.W, cfg.H)
+	flowV := imgproc.NewImage(cfg.W, cfg.H)
+
+	par.For(cfg.H, func(y int) {
+		fy := float64(y)
+		for x := 0; x < cfg.W; x++ {
+			fx := float64(x)
+			// Left view + ground truth (disparity and forward motion).
+			bestD := -1.0
+			var bestV float32
+			var bestU, bestW float32
+			for _, l := range layers {
+				d := l.dispAt(fy, t)
+				if d <= bestD {
+					continue
+				}
+				if tx, ty, ok := l.coversLeft(fx, fy, t); ok {
+					bestD = d
+					bestV = sampleTex(l.tex, tx, ty)
+					bestU, bestW = float32(l.vx), float32(l.vy)
+				}
+			}
+			left.Set(x, y, bestV)
+			gt.Set(x, y, float32(bestD))
+			flowU.Set(x, y, bestU)
+			flowV.Set(x, y, bestW)
+
+			// Right view: layer content shifts left by its disparity, so the
+			// right pixel (x, y) shows the layer point that sits at
+			// (x + d, y) in the left view.
+			bestD = -1.0
+			bestV = 0
+			for _, l := range layers {
+				d := l.dispAt(fy, t)
+				if d <= bestD {
+					continue
+				}
+				if tx, ty, ok := l.coversLeft(fx+d, fy, t); ok {
+					bestD = d
+					bestV = sampleTex(l.tex, tx, ty)
+				}
+			}
+			right.Set(x, y, bestV)
+		}
+	})
+
+	if cfg.RightGain != 0 && cfg.RightGain != 1 {
+		g := float32(cfg.RightGain)
+		for i := range right.Pix {
+			right.Pix[i] *= g
+		}
+	}
+	if cfg.Noise > 0 {
+		addNoise(left, rng, cfg.Noise)
+		addNoise(right, rng, cfg.Noise)
+	}
+	return FramePair{Left: left, Right: right, GT: gt, FlowU: flowU, FlowV: flowV}
+}
+
+func addNoise(im *imgproc.Image, rng *rand.Rand, sigma float64) {
+	for i := range im.Pix {
+		im.Pix[i] += float32(rng.NormFloat64() * sigma)
+	}
+}
+
+// SceneFlowLike returns configurations mimicking the SceneFlow benchmark:
+// 26 synthetic videos with varying depth ranges (paper Sec. 6.1). Sizes are
+// laptop-scale; nFrames should be >= 4 to evaluate PW-4.
+func SceneFlowLike(w, h, nFrames int, seed int64) []SceneConfig {
+	cfgs := make([]SceneConfig, 26)
+	for i := range cfgs {
+		// Alternate shallow/medium/deep scenes to vary the depth range.
+		maxD := []float64{16, 24, 32}[i%3]
+		cfgs[i] = SceneConfig{
+			W: w, H: h, FrameCount: nFrames,
+			Layers:     3 + i%3,
+			MinDisp:    2,
+			MaxDisp:    maxD,
+			MaxVel:     1.5,
+			MaxDispVel: 0.3,
+			Ground:     false,
+			Noise:      0.01,
+			Seed:       seed + int64(i)*977,
+		}
+	}
+	return cfgs
+}
+
+// KITTILike returns configurations mimicking the KITTI stereo benchmark:
+// nPairs street-view scenes of exactly two consecutive frames each, with a
+// ground plane and traffic-like foreground objects.
+func KITTILike(w, h, nPairs int, seed int64) []SceneConfig {
+	cfgs := make([]SceneConfig, nPairs)
+	for i := range cfgs {
+		cfgs[i] = SceneConfig{
+			W: w, H: h, FrameCount: 2,
+			Layers:     2 + i%3,
+			MinDisp:    1,
+			MaxDisp:    28,
+			MaxVel:     2.0,
+			MaxDispVel: 0.5,
+			Ground:     true,
+			Noise:      0.015,
+			Seed:       seed + int64(i)*1543,
+		}
+	}
+	return cfgs
+}

@@ -1,0 +1,71 @@
+package deconv
+
+import (
+	"fmt"
+
+	"asv/internal/tensor"
+)
+
+// DecomposeND implements the general Appendix A construction: a kernel with
+// n trailing spatial dimensions decomposes into 2^n sub-kernels, where
+// sub-kernel k takes element (i₀,…,i_{n-1}) from kernel element
+// (2i₀+δ₀, …, 2i_{n-1}+δ_{n-1}) with δⱼ = (k >> j) & 1.
+//
+// w's leading dimensions (filters, channels) are preserved; spatialDims
+// counts the trailing dimensions to decompose. Sub-kernels with an empty
+// dimension are nil. DecomposeND generalizes Decompose2D/Decompose3D to
+// any rank (the paper states the formulation for N-dimensional kernels).
+//
+// Note the δ-to-dimension assignment: δⱼ selects the parity of the j-th
+// *spatial* dimension counted from the slowest-varying one, so for 2-D
+// kernels DecomposeND's sub-kernel order matches Decompose2D's (S0..S3)
+// up to the documented index mapping below.
+func DecomposeND(w *tensor.Tensor, spatialDims int) []*tensor.Tensor {
+	if spatialDims < 1 || spatialDims > w.Rank() {
+		panic(fmt.Sprintf("deconv: spatialDims %d out of range for rank %d", spatialDims, w.Rank()))
+	}
+	lead := w.Rank() - spatialDims
+	shape := w.Shape()
+	n := spatialDims
+	out := make([]*tensor.Tensor, 1<<n)
+
+	for k := 0; k < 1<<n; k++ {
+		deltas := make([]int, n)
+		subShape := append([]int(nil), shape[:lead]...)
+		empty := false
+		for j := 0; j < n; j++ {
+			deltas[j] = (k >> j) & 1
+			ext := subExtent(shape[lead+j], deltas[j])
+			if ext == 0 {
+				empty = true
+			}
+			subShape = append(subShape, ext)
+		}
+		if empty {
+			continue
+		}
+		sub := tensor.New(subShape...)
+		// Walk every element of the sub-kernel and copy from the source.
+		srcIdx := make([]int, w.Rank())
+		dstIdx := make([]int, w.Rank())
+		var fill func(dim int)
+		fill = func(dim int) {
+			if dim == len(subShape) {
+				sub.Set(w.At(srcIdx...), dstIdx...)
+				return
+			}
+			for i := 0; i < subShape[dim]; i++ {
+				dstIdx[dim] = i
+				if dim < lead {
+					srcIdx[dim] = i
+				} else {
+					srcIdx[dim] = 2*i + deltas[dim-lead]
+				}
+				fill(dim + 1)
+			}
+		}
+		fill(0)
+		out[k] = sub
+	}
+	return out
+}

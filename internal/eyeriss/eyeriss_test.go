@@ -1,0 +1,65 @@
+package eyeriss
+
+import (
+	"testing"
+
+	"asv/internal/nn"
+	"asv/internal/systolic"
+)
+
+func TestRunNetworkReportsComplete(t *testing.T) {
+	m := Default()
+	rep := m.RunNetwork(nn.DispNet(135, 240), false)
+	if rep.Cycles <= 0 || rep.MACs <= 0 || rep.EnergyJ <= 0 || rep.DRAMBytes <= 0 {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+	if rep.DeconvCycles <= 0 || rep.DeconvCycles >= rep.Cycles {
+		t.Fatalf("deconv slice out of range: %d of %d", rep.DeconvCycles, rep.Cycles)
+	}
+}
+
+func TestDCTHelpsEyerissToo(t *testing.T) {
+	// Paper Sec. 7.5: extending Eyeriss with the transformation yields
+	// ~1.6x speedup and ~31% energy saving over plain Eyeriss.
+	m := Default()
+	n := nn.FlowNetC(nn.QHDH, nn.QHDW)
+	base := m.RunNetwork(n, false)
+	dct := m.RunNetwork(n, true)
+	sp := float64(base.Cycles) / float64(dct.Cycles)
+	if sp < 1.15 || sp > 2.2 {
+		t.Fatalf("Eyeriss+DCT speedup %.2fx, want ~1.6x band", sp)
+	}
+	en := 1 - dct.EnergyJ/base.EnergyJ
+	if en < 0.10 || en > 0.5 {
+		t.Fatalf("Eyeriss+DCT energy saving %.0f%%, want ~31%% band", 100*en)
+	}
+}
+
+func TestEyerissSlowerThanSystolicBaseline(t *testing.T) {
+	// The paper's Fig. 13 normalization implies the systolic baseline beats
+	// Eyeriss on these workloads (DCO alone is 2.6x vs Eyeriss but only
+	// ~1.5x vs the systolic baseline).
+	n := nn.DispNet(270, 480)
+	eye := Default().RunNetwork(n, false)
+	sys := systolic.Default().RunNetwork(n, systolic.PolicyBaseline)
+	if eye.Cycles <= sys.Cycles {
+		t.Fatalf("Eyeriss (%d cycles) should trail the systolic baseline (%d)", eye.Cycles, sys.Cycles)
+	}
+}
+
+func TestUtilizationMonotonicInTaps(t *testing.T) {
+	prev := 1.0
+	for _, taps := range []int64{1, 2, 4, 9, 27} {
+		u := utilization(taps)
+		if u <= 0 || u > 1 {
+			t.Fatalf("utilization(%d) = %v out of (0,1]", taps, u)
+		}
+		if u < prev-1e-9 && taps == 1 {
+			continue
+		}
+		prev = u
+	}
+	if utilization(1) >= utilization(9) {
+		t.Fatal("1x1 kernels should map worse than 3x3 under row-stationary")
+	}
+}

@@ -1,0 +1,307 @@
+// Package flow implements dense motion estimation for ASV's non-key
+// frames: the Farneback polynomial-expansion optical flow algorithm chosen
+// by the paper (Sec. 3.3), plus block-matching and Lucas-Kanade estimators
+// used to justify that choice.
+//
+// Farneback's algorithm approximates each pixel neighbourhood with a
+// quadratic polynomial f(x) ≈ xᵀAx + bᵀx + c fitted under a Gaussian
+// weighting, and recovers the displacement between two frames from the way
+// the polynomial coefficients shift. As the paper observes, 99% of the
+// compute is three kernels — Gaussian blur (a convolution), "Compute Flow"
+// and "Matrix Update" (pointwise) — which is what lets ASV map it onto a DNN
+// accelerator.
+package flow
+
+import (
+	"fmt"
+	"math"
+
+	"asv/internal/imgproc"
+)
+
+// Field is a dense motion field: U and V hold the horizontal and vertical
+// displacement of every pixel.
+type Field struct {
+	U, V *imgproc.Image
+}
+
+// NewField returns a zero (no-motion) field of the given size.
+func NewField(w, h int) Field {
+	return Field{U: imgproc.NewImage(w, h), V: imgproc.NewImage(w, h)}
+}
+
+// Clone returns a deep copy of the field.
+func (f Field) Clone() Field {
+	return Field{U: f.U.Clone(), V: f.V.Clone()}
+}
+
+// Options configures the Farneback estimator.
+type Options struct {
+	Levels    int     // pyramid levels (>=1)
+	PyrSigma  float64 // Gaussian sigma used when building the pyramid
+	PolySigma float64 // sigma of the polynomial-expansion applicability
+	PolyR     int     // radius of the polynomial-expansion window
+	WinSigma  float64 // sigma of the displacement-aggregation window
+	Iters     int     // refinement iterations per level
+}
+
+// DefaultOptions returns the configuration used throughout the ASV
+// experiments: 3 pyramid levels, a 5×5 polynomial window and 3 iterations.
+func DefaultOptions() Options {
+	return Options{
+		Levels:    3,
+		PyrSigma:  0.9,
+		PolySigma: 1.1,
+		PolyR:     2,
+		WinSigma:  1.8,
+		Iters:     3,
+	}
+}
+
+// polyCoeffs holds the per-pixel quadratic coefficients
+// f ≈ c + bx·x + by·y + axx·x² + ayy·y² + axy·xy.
+type polyCoeffs struct {
+	bx, by        *imgproc.Image
+	axx, ayy, axy *imgproc.Image
+}
+
+// polyExpand fits the quadratic model at every pixel by weighted least
+// squares with a Gaussian applicability of radius r and the given sigma.
+// Because the weighting is identical at every pixel, the normal-equation
+// matrix G is constant and is inverted once; the per-pixel moment images are
+// separable correlations, exactly the structure ASV maps onto convolution
+// hardware.
+func polyExpand(im *imgproc.Image, r int, sigma float64) polyCoeffs {
+	if r < 1 {
+		panic(fmt.Sprintf("flow: polynomial radius %d < 1", r))
+	}
+	n := 2*r + 1
+	// 1-D applicability and its moment kernels.
+	a := make([]float64, n)
+	for i := -r; i <= r; i++ {
+		a[i+r] = math.Exp(-float64(i*i) / (2 * sigma * sigma))
+	}
+	k0 := make([]float32, n) // a(x)
+	k1 := make([]float32, n) // x·a(x)
+	k2 := make([]float32, n) // x²·a(x)
+	for i := -r; i <= r; i++ {
+		k0[i+r] = float32(a[i+r])
+		k1[i+r] = float32(float64(i) * a[i+r])
+		k2[i+r] = float32(float64(i*i) * a[i+r])
+	}
+
+	// Normal matrix G over basis (1, x, y, x², y², xy).
+	var s0, s2, s4, s22 float64
+	for i := -r; i <= r; i++ {
+		for j := -r; j <= r; j++ {
+			w := a[i+r] * a[j+r]
+			s0 += w
+			s2 += w * float64(j*j)
+			s4 += w * float64(j*j*j*j)
+			s22 += w * float64(i*i*j*j)
+		}
+	}
+	g := [6][6]float64{
+		{s0, 0, 0, s2, s2, 0},
+		{0, s2, 0, 0, 0, 0},
+		{0, 0, s2, 0, 0, 0},
+		{s2, 0, 0, s4, s22, 0},
+		{s2, 0, 0, s22, s4, 0},
+		{0, 0, 0, 0, 0, s22},
+	}
+	ginv := invert6(g)
+
+	// Moment images m_pq = Σ a(x)a(y) x^p y^q f  — six separable filters.
+	m00 := imgproc.SeparableFilter(im, k0, k0)
+	m10 := imgproc.SeparableFilter(im, k1, k0)
+	m01 := imgproc.SeparableFilter(im, k0, k1)
+	m20 := imgproc.SeparableFilter(im, k2, k0)
+	m02 := imgproc.SeparableFilter(im, k0, k2)
+	m11 := imgproc.SeparableFilter(im, k1, k1)
+
+	p := polyCoeffs{
+		bx:  imgproc.NewImage(im.W, im.H),
+		by:  imgproc.NewImage(im.W, im.H),
+		axx: imgproc.NewImage(im.W, im.H),
+		ayy: imgproc.NewImage(im.W, im.H),
+		axy: imgproc.NewImage(im.W, im.H),
+	}
+	for i := range m00.Pix {
+		m := [6]float64{
+			float64(m00.Pix[i]), float64(m10.Pix[i]), float64(m01.Pix[i]),
+			float64(m20.Pix[i]), float64(m02.Pix[i]), float64(m11.Pix[i]),
+		}
+		var rcoef [6]float64
+		for row := 0; row < 6; row++ {
+			var acc float64
+			for col := 0; col < 6; col++ {
+				acc += ginv[row][col] * m[col]
+			}
+			rcoef[row] = acc
+		}
+		p.bx.Pix[i] = float32(rcoef[1])
+		p.by.Pix[i] = float32(rcoef[2])
+		p.axx.Pix[i] = float32(rcoef[3])
+		p.ayy.Pix[i] = float32(rcoef[4])
+		p.axy.Pix[i] = float32(rcoef[5])
+	}
+	return p
+}
+
+// invert6 inverts a 6×6 matrix by Gauss-Jordan elimination with partial
+// pivoting. It panics if the matrix is singular, which cannot happen for a
+// positive applicability.
+func invert6(m [6][6]float64) [6][6]float64 {
+	var aug [6][12]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			aug[i][j] = m[i][j]
+		}
+		aug[i][6+i] = 1
+	}
+	for col := 0; col < 6; col++ {
+		piv := col
+		for row := col + 1; row < 6; row++ {
+			if math.Abs(aug[row][col]) > math.Abs(aug[piv][col]) {
+				piv = row
+			}
+		}
+		if math.Abs(aug[piv][col]) < 1e-12 {
+			panic("flow: singular normal matrix in polynomial expansion")
+		}
+		aug[col], aug[piv] = aug[piv], aug[col]
+		inv := 1 / aug[col][col]
+		for j := 0; j < 12; j++ {
+			aug[col][j] *= inv
+		}
+		for row := 0; row < 6; row++ {
+			if row == col {
+				continue
+			}
+			f := aug[row][col]
+			for j := 0; j < 12; j++ {
+				aug[row][j] -= f * aug[col][j]
+			}
+		}
+	}
+	var out [6][6]float64
+	for i := 0; i < 6; i++ {
+		for j := 0; j < 6; j++ {
+			out[i][j] = aug[i][6+j]
+		}
+	}
+	return out
+}
+
+// Farneback estimates the dense motion field that maps prev onto next using
+// a coarse-to-fine pyramid. The returned field is defined on prev's pixel
+// grid: next(x + U, y + V) ≈ prev(x, y).
+func Farneback(prev, next *imgproc.Image, opt Options) Field {
+	if prev.W != next.W || prev.H != next.H {
+		panic(fmt.Sprintf("flow: frame sizes differ %dx%d vs %dx%d", prev.W, prev.H, next.W, next.H))
+	}
+	if opt.Levels < 1 {
+		opt.Levels = 1
+	}
+	if opt.Iters < 1 {
+		opt.Iters = 1
+	}
+	// Clamp the pyramid so the coarsest level is still big enough for the
+	// polynomial window.
+	minDim := prev.W
+	if prev.H < minDim {
+		minDim = prev.H
+	}
+	for opt.Levels > 1 && minDim>>(opt.Levels-1) < 4*opt.PolyR+2 {
+		opt.Levels--
+	}
+
+	p1 := imgproc.Pyramid(prev, opt.Levels, opt.PyrSigma)
+	p2 := imgproc.Pyramid(next, opt.Levels, opt.PyrSigma)
+
+	var fld Field
+	for l := opt.Levels - 1; l >= 0; l-- {
+		im1, im2 := p1[l], p2[l]
+		if fld.U == nil {
+			fld = NewField(im1.W, im1.H)
+		} else {
+			u := imgproc.Upsample2(fld.U, im1.W, im1.H)
+			v := imgproc.Upsample2(fld.V, im1.W, im1.H)
+			for i := range u.Pix {
+				u.Pix[i] *= 2
+				v.Pix[i] *= 2
+			}
+			fld = Field{U: u, V: v}
+		}
+		c1 := polyExpand(im1, opt.PolyR, opt.PolySigma)
+		c2 := polyExpand(im2, opt.PolyR, opt.PolySigma)
+		for it := 0; it < opt.Iters; it++ {
+			fld = flowIteration(c1, c2, fld, opt.WinSigma)
+		}
+	}
+	return fld
+}
+
+// flowIteration performs one Farneback update: form the per-pixel linear
+// system from the two polynomial expansions and the current displacement
+// ("Matrix Update"), aggregate it over a Gaussian window (a blur), and solve
+// the 2×2 system per pixel ("Compute Flow").
+func flowIteration(c1, c2 polyCoeffs, cur Field, winSigma float64) Field {
+	w, h := cur.U.W, cur.U.H
+	// Accumulator images for G = AᵀA (symmetric 2×2: g11,g12,g22) and
+	// hvec = AᵀΔb (h1,h2).
+	g11 := imgproc.NewImage(w, h)
+	g12 := imgproc.NewImage(w, h)
+	g22 := imgproc.NewImage(w, h)
+	h1 := imgproc.NewImage(w, h)
+	h2 := imgproc.NewImage(w, h)
+
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			du := float64(cur.U.At(x, y))
+			dv := float64(cur.V.At(x, y))
+			// Look up frame-2 coefficients at the displaced position
+			// (rounded to the nearest pixel, clamped to the border).
+			x2 := int(math.Round(float64(x) + du))
+			y2 := int(math.Round(float64(y) + dv))
+
+			a11 := (float64(c1.axx.At(x, y)) + float64(c2.axx.At(x2, y2))) / 2
+			a22 := (float64(c1.ayy.At(x, y)) + float64(c2.ayy.At(x2, y2))) / 2
+			a12 := (float64(c1.axy.At(x, y)) + float64(c2.axy.At(x2, y2))) / 4 // A off-diag = axy/2, averaged
+
+			db1 := -0.5*(float64(c2.bx.At(x2, y2))-float64(c1.bx.At(x, y))) + a11*du + a12*dv
+			db2 := -0.5*(float64(c2.by.At(x2, y2))-float64(c1.by.At(x, y))) + a12*du + a22*dv
+
+			g11.Set(x, y, float32(a11*a11+a12*a12))
+			g12.Set(x, y, float32(a12*(a11+a22)))
+			g22.Set(x, y, float32(a22*a22+a12*a12))
+			h1.Set(x, y, float32(a11*db1+a12*db2))
+			h2.Set(x, y, float32(a12*db1+a22*db2))
+		}
+	}
+
+	// Aggregate the normal equations over the neighbourhood.
+	g11 = imgproc.GaussianBlur(g11, winSigma)
+	g12 = imgproc.GaussianBlur(g12, winSigma)
+	g22 = imgproc.GaussianBlur(g22, winSigma)
+	h1 = imgproc.GaussianBlur(h1, winSigma)
+	h2 = imgproc.GaussianBlur(h2, winSigma)
+
+	out := NewField(w, h)
+	for i := range g11.Pix {
+		a := float64(g11.Pix[i])
+		b := float64(g12.Pix[i])
+		c := float64(g22.Pix[i])
+		det := a*c - b*b
+		if math.Abs(det) < 1e-9 {
+			out.U.Pix[i] = cur.U.Pix[i]
+			out.V.Pix[i] = cur.V.Pix[i]
+			continue
+		}
+		hh1 := float64(h1.Pix[i])
+		hh2 := float64(h2.Pix[i])
+		out.U.Pix[i] = float32((c*hh1 - b*hh2) / det)
+		out.V.Pix[i] = float32((a*hh2 - b*hh1) / det)
+	}
+	return out
+}

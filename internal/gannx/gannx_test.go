@@ -1,0 +1,83 @@
+package gannx
+
+import (
+	"testing"
+
+	"asv/internal/eyeriss"
+	"asv/internal/nn"
+	"asv/internal/systolic"
+)
+
+func TestRunNetworkReportsComplete(t *testing.T) {
+	rep := Default().RunNetwork(nn.DCGAN())
+	if rep.Cycles <= 0 || rep.MACs <= 0 || rep.EnergyJ <= 0 || rep.DRAMBytes <= 0 {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+}
+
+func TestGANNXSkipsZeroMACs(t *testing.T) {
+	// The dedicated hardware executes only effective MACs, like the
+	// software transformation (~4x fewer than naive for 2-D stride-2).
+	n := nn.DCGAN()
+	rep := Default().RunNetwork(n)
+	naive := n.TotalMACs()
+	if rep.MACs >= naive {
+		t.Fatalf("GANNX issued %d MACs, naive is %d — no zero skipping?", rep.MACs, naive)
+	}
+	r := float64(naive) / float64(rep.MACs)
+	if r < 2.5 || r > 4.8 {
+		t.Fatalf("zero-skip MAC reduction %.2fx, want ~4x", r)
+	}
+}
+
+func TestGANNXBeatsEyerissOnGANs(t *testing.T) {
+	// Fig. 14: GANNX averages ~3.6x speedup / ~3.2x energy over Eyeriss.
+	gx := Default()
+	eye := eyeriss.Default()
+	var sp float64
+	for _, n := range nn.GANZoo() {
+		e := eye.RunNetwork(n, false)
+		g := gx.RunNetwork(n)
+		sp += e.Seconds / g.Seconds
+	}
+	sp /= 6
+	if sp < 2.0 || sp > 6.5 {
+		t.Fatalf("GANNX average speedup over Eyeriss %.2fx, want ~3.6x band", sp)
+	}
+}
+
+// The headline of Sec. 7.6: ASV's software approach beats the purpose-built
+// accelerator (paper: 1.4x speedup) because of ILAR, with no custom
+// hardware.
+func TestASVBeatsGANNX(t *testing.T) {
+	gx := Default()
+	asv := systolic.Default()
+	var ratioSum, energySum float64
+	for _, n := range nn.GANZoo() {
+		g := gx.RunNetwork(n)
+		a := asv.RunNetwork(n, systolic.PolicyILAR)
+		ratioSum += g.Seconds / a.Seconds
+		energySum += g.EnergyJ / a.EnergyJ
+	}
+	ratio := ratioSum / 6
+	if ratio < 1.1 || ratio > 2.0 {
+		t.Fatalf("ASV/GANNX speedup = %.2fx, want ~1.4x", ratio)
+	}
+	if energySum/6 < 1.0 {
+		t.Fatalf("ASV should not consume more energy than GANNX (ratio %.2f)", energySum/6)
+	}
+}
+
+func TestGANNXReloadsIfmapPerPattern(t *testing.T) {
+	// The SRAM traffic must reflect one ifmap pass per computation pattern —
+	// the reuse ASV uniquely eliminates.
+	n := nn.DCGAN()
+	rep := Default().RunNetwork(n)
+	var minSram int64
+	for _, l := range n.Layers {
+		minSram += l.IfmapElems() * 2
+	}
+	if rep.SRAMBytes <= minSram {
+		t.Fatal("SRAM traffic too low: per-pattern ifmap streaming not modeled")
+	}
+}

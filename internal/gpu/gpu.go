@@ -1,0 +1,68 @@
+// Package gpu is a roofline model of the mobile Pascal GPU in the Nvidia
+// Jetson TX2 (paper Sec. 6.2, Fig. 13): peak fp16 throughput, shared LPDDR4
+// bandwidth, and board-level power. It reproduces the baseline GPU curves of
+// Fig. 1 and the GPU bars of Fig. 13 at the fidelity the paper uses them —
+// a reference point, not a target.
+package gpu
+
+import (
+	"math"
+
+	"asv/internal/nn"
+	"asv/internal/systolic"
+)
+
+// Model describes a GPU by its roofline parameters.
+type Model struct {
+	PeakMACsPerSec    float64 // fp16 multiply-accumulates per second
+	Efficiency        float64 // sustained fraction of peak on conv workloads
+	BWBytesPerSec     float64
+	BoardPowerW       float64
+	LaunchOverheadSec float64 // per-layer kernel-launch cost
+}
+
+// TX2 returns the Jetson TX2 mobile Pascal configuration: 256 CUDA cores at
+// 1.3 GHz (665 GMAC/s fp16), 58.4 GB/s of shared LPDDR4, ~5 W GPU-rail
+// power under load. Sustained efficiency is calibrated to the paper's
+// measured stereo-DNN frame rates (Fig. 1: DispNet-GPU ≈ 1–2 FPS at qHD),
+// which land near 15% of peak — deconvolution-heavy encoder/decoders of
+// that era ran far from roofline on cuDNN.
+func TX2() *Model {
+	return &Model{
+		PeakMACsPerSec:    665e9,
+		Efficiency:        0.15,
+		BWBytesPerSec:     58.4e9,
+		BoardPowerW:       5,
+		LaunchOverheadSec: 20e-6,
+	}
+}
+
+// RunNetwork returns the per-inference cost of the network. The GPU
+// executes deconvolutions as dense convolutions over the zero-upsampled
+// input (the cuDNN-era execution the paper measures against).
+func (m *Model) RunNetwork(n *nn.Network) systolic.Report {
+	rep := systolic.Report{Workload: n.Name + "@gpu"}
+	const elemB = 2
+	for _, l := range n.Layers {
+		macs := l.MACs()
+		bytes := (l.IfmapElems() + l.WeightElems() + l.OfmapElems()) * elemB
+		lat := math.Max(
+			float64(macs)/(m.PeakMACsPerSec*m.Efficiency),
+			float64(bytes)/m.BWBytesPerSec,
+		) + m.LaunchOverheadSec
+		rep.Seconds += lat
+		rep.MACs += macs
+		rep.DRAMBytes += bytes
+		if l.Kind == nn.KindDeconv {
+			rep.DeconvCycles += int64(lat * 1e9)
+		}
+	}
+	rep.Cycles = int64(rep.Seconds * 1e9)
+	rep.EnergyJ = rep.Seconds * m.BoardPowerW
+	for _, l := range n.Layers {
+		if l.Kind == nn.KindDeconv {
+			rep.DeconvEnergyJ += float64(l.MACs()) / float64(rep.MACs) * rep.EnergyJ
+		}
+	}
+	return rep
+}

@@ -1,0 +1,63 @@
+package gpu
+
+import (
+	"testing"
+
+	"asv/internal/nn"
+	"asv/internal/systolic"
+)
+
+func TestTX2MatchesFig1FPSBand(t *testing.T) {
+	// Fig. 1 places the stereo DNNs on the TX2 GPU between ~0.05 and ~3 FPS
+	// at qHD.
+	m := TX2()
+	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
+		rep := m.RunNetwork(n)
+		fps := rep.FPS()
+		if fps < 0.02 || fps > 5 {
+			t.Errorf("%s: GPU FPS %.2f outside the Fig. 1 band", n.Name, fps)
+		}
+	}
+}
+
+func TestGPUSlowerThanAccelerator(t *testing.T) {
+	n := nn.DispNet(nn.QHDH, nn.QHDW)
+	gpuRep := TX2().RunNetwork(n)
+	accRep := systolic.Default().RunNetwork(n, systolic.PolicyBaseline)
+	if gpuRep.Seconds <= accRep.Seconds {
+		t.Fatal("the mobile GPU should be slower than the dedicated accelerator")
+	}
+}
+
+func TestGPUEnergyScalesWithLatency(t *testing.T) {
+	m := TX2()
+	small := m.RunNetwork(nn.DispNet(135, 240))
+	big := m.RunNetwork(nn.DispNet(540, 960))
+	if big.Seconds <= small.Seconds || big.EnergyJ <= small.EnergyJ {
+		t.Fatal("larger inputs must cost more time and energy")
+	}
+	// Energy = power x time exactly.
+	if small.EnergyJ != small.Seconds*m.BoardPowerW {
+		t.Fatal("energy should equal board power x latency")
+	}
+}
+
+func TestGPUDeconvSliceAccounted(t *testing.T) {
+	rep := TX2().RunNetwork(nn.FlowNetC(270, 480))
+	if rep.DeconvCycles <= 0 || rep.DeconvEnergyJ <= 0 {
+		t.Fatal("deconvolution share not accounted")
+	}
+	if rep.DeconvEnergyJ >= rep.EnergyJ {
+		t.Fatal("deconv energy cannot exceed the total")
+	}
+}
+
+func TestLaunchOverheadVisibleOnTinyNets(t *testing.T) {
+	m := TX2()
+	n := nn.DCGAN()
+	rep := m.RunNetwork(n)
+	minOverhead := float64(len(n.Layers)) * m.LaunchOverheadSec
+	if rep.Seconds < minOverhead {
+		t.Fatal("per-layer launch overhead missing")
+	}
+}

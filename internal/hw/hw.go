@@ -1,0 +1,114 @@
+// Package hw holds the hardware configuration and the 16 nm energy/area
+// constants shared by the accelerator models. The numbers are calibrated to
+// the paper's prototype (Sec. 6.1): a 24×24 systolic array at 1 GHz with a
+// 1.5 MB banked SRAM and four LPDDR3-1600 channels, 3.0 mm² total in TSMC
+// 16 nm FinFET, 1.152 TOPS raw throughput.
+package hw
+
+import "fmt"
+
+// Config describes an accelerator resource budget (the R* of Equ. 4).
+type Config struct {
+	PEsX, PEsY int     // systolic array dimensions
+	FreqHz     float64 // PE clock
+	BufBytes   int64   // on-chip unified buffer (total; double-buffered)
+	BWBytesSec float64 // off-chip DRAM bandwidth
+	ElemBytes  int64   // datum size (16-bit fixed point)
+}
+
+// Default returns the evaluation configuration of Sec. 6.1.
+func Default() Config {
+	return Config{
+		PEsX:       24,
+		PEsY:       24,
+		FreqHz:     1e9,
+		BufBytes:   1536 << 10, // 1.5 MB
+		BWBytesSec: 25.6e9,     // 4 x LPDDR3-1600 x32 channels (6.4 GB/s each)
+		ElemBytes:  2,
+	}
+}
+
+// PEs returns the MAC array size A*.
+func (c Config) PEs() int { return c.PEsX * c.PEsY }
+
+// UsableBuf returns the bytes available to a round: half the buffer, since
+// the other half is the filling side of the double buffer (Sec. 4.2).
+func (c Config) UsableBuf() int64 { return c.BufBytes / 2 }
+
+// BytesPerCycle returns the DRAM bandwidth per PE-clock cycle (B* in the
+// latency formulation).
+func (c Config) BytesPerCycle() float64 { return c.BWBytesSec / c.FreqHz }
+
+// Validate panics on a nonsensical configuration.
+func (c Config) Validate() {
+	if c.PEsX < 1 || c.PEsY < 1 || c.FreqHz <= 0 || c.BufBytes < 4096 ||
+		c.BWBytesSec <= 0 || c.ElemBytes < 1 {
+		panic(fmt.Sprintf("hw: invalid config %+v", c))
+	}
+}
+
+// Energy holds per-event energy costs in picojoules, 16 nm class.
+type Energy struct {
+	MACpJ      float64 // one 16-bit multiply-accumulate in a PE
+	SADpJ      float64 // one accumulate-absolute-difference (ISM extension)
+	SRAMpJByte float64 // one byte moved to/from the on-chip buffer
+	DRAMpJByte float64 // one byte moved to/from LPDDR3
+	ScalarOpPJ float64 // one scalar-unit pointwise operation
+	LeakWatts  float64 // static power of the whole accelerator
+}
+
+// DefaultEnergy returns the 16 nm calibration used in the experiments.
+// DRAM access energy dominates SRAM by ~40x and SRAM dominates a MAC by
+// ~4x, matching published 16 nm characterizations.
+func DefaultEnergy() Energy {
+	return Energy{
+		MACpJ:      0.5,
+		SADpJ:      0.45,
+		SRAMpJByte: 1.0,
+		DRAMpJByte: 40.0,
+		ScalarOpPJ: 0.8,
+		LeakWatts:  0.15,
+	}
+}
+
+// Area/power overhead accounting for the ISM hardware extensions
+// (paper Sec. 7.1).
+const (
+	// Per-PE absolute-difference extension.
+	PEBaseAreaUM2 = 242.9 // baseline PE area (µm²)
+	PEExtAreaUM2  = 15.3  // +6.3% per PE
+	PEBasePowerMW = 0.87  // baseline PE power (mW)
+	PEExtPowerMW  = 0.02  // +2.3% per PE
+
+	// Scalar-unit extension for "Compute Flow" / "Matrix Update".
+	ScalarExtAreaMM2 = 0.002
+	ScalarExtPowerMW = 2.2
+
+	// Whole-accelerator envelope (Sec. 6.1).
+	TotalAreaMM2 = 3.0
+	TotalPowerW  = 3.0
+)
+
+// Overhead summarizes the ASV additions relative to the baseline
+// accelerator.
+type Overhead struct {
+	PEAreaPct     float64 // per-PE area increase
+	PEPowerPct    float64 // per-PE power increase
+	TotalAreaPct  float64 // whole-chip area increase
+	TotalPowerPct float64 // whole-chip power increase
+}
+
+// ComputeOverhead evaluates the Sec. 7.1 overhead table for an array of
+// nPEs processing elements.
+func ComputeOverhead(nPEs int) Overhead {
+	peArea := PEExtAreaUM2 / PEBaseAreaUM2 * 100
+	pePower := PEExtPowerMW / PEBasePowerMW * 100
+	extAreaMM2 := float64(nPEs)*PEExtAreaUM2/1e6 + ScalarExtAreaMM2
+	extPowerW := (float64(nPEs)*PEExtPowerMW + ScalarExtPowerMW) / 1e3
+	return Overhead{
+		PEAreaPct:     peArea,
+		PEPowerPct:    pePower,
+		TotalAreaPct:  extAreaMM2 / TotalAreaMM2 * 100,
+		TotalPowerPct: extPowerW / TotalPowerW * 100,
+	}
+}

@@ -1,0 +1,74 @@
+package hw
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDefaultConfigMatchesPaper(t *testing.T) {
+	c := Default()
+	c.Validate()
+	if c.PEs() != 576 {
+		t.Fatalf("PEs = %d, want 576 (24x24)", c.PEs())
+	}
+	if c.BufBytes != 1536<<10 {
+		t.Fatalf("buffer = %d, want 1.5 MB", c.BufBytes)
+	}
+	// Raw throughput: 576 PEs x 1 GHz x 2 ops/MAC = 1.152 TOPS (Sec. 6.1).
+	tops := float64(c.PEs()) * c.FreqHz * 2 / 1e12
+	if math.Abs(tops-1.152) > 1e-9 {
+		t.Fatalf("raw throughput = %v TOPS, want 1.152", tops)
+	}
+}
+
+func TestUsableBufIsHalfForDoubleBuffering(t *testing.T) {
+	c := Default()
+	if c.UsableBuf() != c.BufBytes/2 {
+		t.Fatal("usable buffer should be half of total (working/filling split)")
+	}
+}
+
+func TestBytesPerCycle(t *testing.T) {
+	c := Default()
+	if got := c.BytesPerCycle(); math.Abs(got-25.6) > 1e-9 {
+		t.Fatalf("bytes/cycle = %v, want 25.6", got)
+	}
+}
+
+func TestValidatePanicsOnBadConfig(t *testing.T) {
+	c := Default()
+	c.PEsX = 0
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	c.Validate()
+}
+
+func TestDefaultEnergyOrdering(t *testing.T) {
+	e := DefaultEnergy()
+	if !(e.MACpJ < e.SRAMpJByte*2 && e.SRAMpJByte < e.DRAMpJByte) {
+		t.Fatalf("energy hierarchy violated: %+v", e)
+	}
+	if e.SADpJ > e.MACpJ {
+		t.Fatal("accumulate-abs-difference should not cost more than a MAC")
+	}
+}
+
+func TestOverheadMatchesSec71(t *testing.T) {
+	o := ComputeOverhead(576)
+	if math.Abs(o.PEAreaPct-6.3) > 0.2 {
+		t.Fatalf("per-PE area overhead = %.2f%%, want ~6.3%%", o.PEAreaPct)
+	}
+	if math.Abs(o.PEPowerPct-2.3) > 0.2 {
+		t.Fatalf("per-PE power overhead = %.2f%%, want ~2.3%%", o.PEPowerPct)
+	}
+	if o.TotalAreaPct >= 0.5 || o.TotalPowerPct >= 0.5 {
+		t.Fatalf("total overhead area=%.2f%% power=%.2f%%, want both < 0.5%%",
+			o.TotalAreaPct, o.TotalPowerPct)
+	}
+	if o.TotalAreaPct <= 0 || o.TotalPowerPct <= 0 {
+		t.Fatal("overheads must be positive")
+	}
+}

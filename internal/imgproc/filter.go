@@ -1,0 +1,121 @@
+package imgproc
+
+import (
+	"asv/internal/par"
+	"fmt"
+	"math"
+)
+
+// GaussianKernel1D returns a normalized 1-D Gaussian kernel with the given
+// standard deviation. The radius is ceil(3*sigma), so the kernel length is
+// 2*radius+1.
+func GaussianKernel1D(sigma float64) []float32 {
+	if sigma <= 0 {
+		panic(fmt.Sprintf("imgproc: non-positive sigma %v", sigma))
+	}
+	r := int(math.Ceil(3 * sigma))
+	k := make([]float32, 2*r+1)
+	var sum float64
+	for i := -r; i <= r; i++ {
+		v := math.Exp(-float64(i*i) / (2 * sigma * sigma))
+		k[i+r] = float32(v)
+		sum += v
+	}
+	inv := float32(1 / sum)
+	for i := range k {
+		k[i] *= inv
+	}
+	return k
+}
+
+// SeparableFilter convolves the image with kx horizontally then ky
+// vertically, using replicate border handling. Kernel lengths must be odd.
+func SeparableFilter(im *Image, kx, ky []float32) *Image {
+	if len(kx)%2 == 0 || len(ky)%2 == 0 {
+		panic("imgproc: separable kernels must have odd length")
+	}
+	rx, ry := len(kx)/2, len(ky)/2
+	tmp := NewImage(im.W, im.H)
+	par.For(im.H, func(y int) {
+		for x := 0; x < im.W; x++ {
+			var acc float32
+			for i := -rx; i <= rx; i++ {
+				acc += kx[i+rx] * im.At(x+i, y)
+			}
+			tmp.Set(x, y, acc)
+		}
+	})
+	out := NewImage(im.W, im.H)
+	par.For(im.H, func(y int) {
+		for x := 0; x < im.W; x++ {
+			var acc float32
+			for i := -ry; i <= ry; i++ {
+				acc += ky[i+ry] * tmp.At(x, y+i)
+			}
+			out.Set(x, y, acc)
+		}
+	})
+	return out
+}
+
+// GaussianBlur low-pass filters the image with a separable Gaussian of the
+// given standard deviation.
+func GaussianBlur(im *Image, sigma float64) *Image {
+	k := GaussianKernel1D(sigma)
+	return SeparableFilter(im, k, k)
+}
+
+// BoxFilter averages over a (2r+1)×(2r+1) window using a running-sum
+// implementation, O(1) per pixel.
+func BoxFilter(im *Image, r int) *Image {
+	if r < 0 {
+		panic("imgproc: negative box-filter radius")
+	}
+	if r == 0 {
+		return im.Clone()
+	}
+	n := 2*r + 1
+	k := make([]float32, n)
+	inv := 1 / float32(n)
+	for i := range k {
+		k[i] = inv
+	}
+	return SeparableFilter(im, k, k)
+}
+
+// GradX returns the horizontal central-difference derivative (f(x+1)-f(x-1))/2.
+func GradX(im *Image) *Image {
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(x, y, (im.At(x+1, y)-im.At(x-1, y))/2)
+		}
+	}
+	return out
+}
+
+// GradY returns the vertical central-difference derivative (f(y+1)-f(y-1))/2.
+func GradY(im *Image) *Image {
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(x, y, (im.At(x, y+1)-im.At(x, y-1))/2)
+		}
+	}
+	return out
+}
+
+// Warp resamples the image according to a dense flow field: the output at
+// (x, y) is the input sampled at (x+u(x,y), y+v(x,y)). u and v must be the
+// same size as the image.
+func Warp(im, u, v *Image) *Image {
+	mustSameSize(im, u, "Warp(u)")
+	mustSameSize(im, v, "Warp(v)")
+	out := NewImage(im.W, im.H)
+	for y := 0; y < im.H; y++ {
+		for x := 0; x < im.W; x++ {
+			out.Set(x, y, im.Bilinear(float32(x)+u.At(x, y), float32(y)+v.At(x, y)))
+		}
+	}
+	return out
+}

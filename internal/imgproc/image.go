@@ -1,0 +1,160 @@
+// Package imgproc provides the grayscale image substrate used by the
+// classic-vision half of ASV: Gaussian filtering, gradients, bilinear
+// warping and image pyramids. Images are dense float32 rasters with values
+// nominally in [0, 1].
+package imgproc
+
+import (
+	"fmt"
+	"math"
+)
+
+// Image is a single-channel float32 raster stored row-major.
+type Image struct {
+	W, H int
+	Pix  []float32
+}
+
+// NewImage returns a zero-filled w×h image. It panics if w or h is not
+// positive.
+func NewImage(w, h int) *Image {
+	if w <= 0 || h <= 0 {
+		panic(fmt.Sprintf("imgproc: invalid image size %dx%d", w, h))
+	}
+	return &Image{W: w, H: h, Pix: make([]float32, w*h)}
+}
+
+// FromPix wraps pix (copied) as a w×h image.
+func FromPix(pix []float32, w, h int) *Image {
+	if len(pix) != w*h {
+		panic(fmt.Sprintf("imgproc: pix length %d != %dx%d", len(pix), w, h))
+	}
+	img := NewImage(w, h)
+	copy(img.Pix, pix)
+	return img
+}
+
+// At returns the pixel at (x, y). Coordinates outside the image are clamped
+// to the border (replicate padding), the convention used by all filters in
+// this package.
+func (im *Image) At(x, y int) float32 {
+	if x < 0 {
+		x = 0
+	} else if x >= im.W {
+		x = im.W - 1
+	}
+	if y < 0 {
+		y = 0
+	} else if y >= im.H {
+		y = im.H - 1
+	}
+	return im.Pix[y*im.W+x]
+}
+
+// Set assigns the pixel at (x, y). It panics if out of bounds.
+func (im *Image) Set(x, y int, v float32) {
+	if x < 0 || x >= im.W || y < 0 || y >= im.H {
+		panic(fmt.Sprintf("imgproc: Set(%d,%d) out of %dx%d", x, y, im.W, im.H))
+	}
+	im.Pix[y*im.W+x] = v
+}
+
+// Clone returns a deep copy.
+func (im *Image) Clone() *Image { return FromPix(im.Pix, im.W, im.H) }
+
+// Bilinear samples the image at the real-valued position (x, y) with
+// bilinear interpolation and replicate border handling.
+func (im *Image) Bilinear(x, y float32) float32 {
+	x0 := int(math.Floor(float64(x)))
+	y0 := int(math.Floor(float64(y)))
+	fx := x - float32(x0)
+	fy := y - float32(y0)
+	v00 := im.At(x0, y0)
+	v10 := im.At(x0+1, y0)
+	v01 := im.At(x0, y0+1)
+	v11 := im.At(x0+1, y0+1)
+	top := v00 + fx*(v10-v00)
+	bot := v01 + fx*(v11-v01)
+	return top + fy*(bot-top)
+}
+
+// Sub returns the element-wise difference a-b. It panics on size mismatch.
+func Sub(a, b *Image) *Image {
+	mustSameSize(a, b, "Sub")
+	out := NewImage(a.W, a.H)
+	for i := range out.Pix {
+		out.Pix[i] = a.Pix[i] - b.Pix[i]
+	}
+	return out
+}
+
+// MeanAbs returns the mean absolute pixel value.
+func MeanAbs(im *Image) float64 {
+	var s float64
+	for _, v := range im.Pix {
+		s += math.Abs(float64(v))
+	}
+	return s / float64(len(im.Pix))
+}
+
+// MaxAbsDiff returns the largest absolute pixel difference between a and b.
+func MaxAbsDiff(a, b *Image) float64 {
+	mustSameSize(a, b, "MaxAbsDiff")
+	var m float64
+	for i := range a.Pix {
+		if d := math.Abs(float64(a.Pix[i] - b.Pix[i])); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func mustSameSize(a, b *Image, op string) {
+	if a.W != b.W || a.H != b.H {
+		panic(fmt.Sprintf("imgproc: %s size mismatch %dx%d vs %dx%d", op, a.W, a.H, b.W, b.H))
+	}
+}
+
+// Downsample2 returns the image decimated by 2 in each dimension (after the
+// caller has low-pass filtered it). Output is ceil(W/2) × ceil(H/2).
+func Downsample2(im *Image) *Image {
+	ow := (im.W + 1) / 2
+	oh := (im.H + 1) / 2
+	out := NewImage(ow, oh)
+	for y := 0; y < oh; y++ {
+		for x := 0; x < ow; x++ {
+			out.Set(x, y, im.At(2*x, 2*y))
+		}
+	}
+	return out
+}
+
+// Upsample2 returns the image bilinearly enlarged to exactly w×h
+// (typically 2× the input).
+func Upsample2(im *Image, w, h int) *Image {
+	out := NewImage(w, h)
+	sx := float32(im.W) / float32(w)
+	sy := float32(im.H) / float32(h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			out.Set(x, y, im.Bilinear((float32(x)+0.5)*sx-0.5, (float32(y)+0.5)*sy-0.5))
+		}
+	}
+	return out
+}
+
+// Pyramid returns a Gaussian pyramid with the given number of levels;
+// level 0 is the original image and each subsequent level is blurred and
+// decimated by 2. levels must be >= 1.
+func Pyramid(im *Image, levels int, sigma float64) []*Image {
+	if levels < 1 {
+		panic("imgproc: Pyramid needs at least one level")
+	}
+	pyr := make([]*Image, levels)
+	pyr[0] = im
+	for l := 1; l < levels; l++ {
+		blurred := GaussianBlur(pyr[l-1], sigma)
+		pyr[l] = Downsample2(blurred)
+	}
+	return pyr
+}

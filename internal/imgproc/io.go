@@ -1,0 +1,189 @@
+package imgproc
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// Image and disparity-map file I/O.
+//
+// Two portable formats, both readable by standard tools:
+//
+//   - PGM (P5, 8- or 16-bit) for display images: values are clamped to
+//     [0, 1] and scaled to the integer range.
+//   - PFM (Pf, little-endian) for disparity maps and any signed/float
+//     data, the format KITTI and Middlebury use for ground truth.
+
+// WritePGM writes im as a binary 16-bit PGM, clamping pixels to [0, 1].
+func WritePGM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintf(bw, "P5\n%d %d\n65535\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 2)
+	for _, v := range im.Pix {
+		if v < 0 {
+			v = 0
+		} else if v > 1 {
+			v = 1
+		}
+		binary.BigEndian.PutUint16(buf, uint16(v*65535+0.5))
+		if _, err := bw.Write(buf); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPGM reads a binary 8- or 16-bit PGM into an image scaled to [0, 1].
+func ReadPGM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("imgproc: reading PGM magic: %w", err)
+	}
+	if magic != "P5" {
+		return nil, fmt.Errorf("imgproc: not a binary PGM (magic %q)", magic)
+	}
+	var w, h, maxv int
+	if _, err := fmt.Fscan(br, &w, &h, &maxv); err != nil {
+		return nil, fmt.Errorf("imgproc: reading PGM header: %w", err)
+	}
+	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535 {
+		return nil, fmt.Errorf("imgproc: bad PGM header %dx%d max %d", w, h, maxv)
+	}
+	if _, err := br.ReadByte(); err != nil { // single whitespace after header
+		return nil, err
+	}
+	im := NewImage(w, h)
+	scale := 1 / float32(maxv)
+	if maxv < 256 {
+		buf := make([]byte, w*h)
+		if _, err := io.ReadFull(br, buf); err != nil {
+			return nil, fmt.Errorf("imgproc: reading PGM pixels: %w", err)
+		}
+		for i, b := range buf {
+			im.Pix[i] = float32(b) * scale
+		}
+		return im, nil
+	}
+	buf := make([]byte, 2*w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("imgproc: reading PGM pixels: %w", err)
+	}
+	for i := 0; i < w*h; i++ {
+		im.Pix[i] = float32(binary.BigEndian.Uint16(buf[2*i:])) * scale
+	}
+	return im, nil
+}
+
+// WritePFM writes im as a single-channel little-endian PFM (values are
+// stored verbatim, so negative "invalid" disparities survive a roundtrip).
+func WritePFM(w io.Writer, im *Image) error {
+	bw := bufio.NewWriter(w)
+	// Scale -1.0 marks little-endian per the PFM spec.
+	if _, err := fmt.Fprintf(bw, "Pf\n%d %d\n-1.0\n", im.W, im.H); err != nil {
+		return err
+	}
+	buf := make([]byte, 4)
+	// PFM stores rows bottom-up.
+	for y := im.H - 1; y >= 0; y-- {
+		for x := 0; x < im.W; x++ {
+			binary.LittleEndian.PutUint32(buf, math.Float32bits(im.At(x, y)))
+			if _, err := bw.Write(buf); err != nil {
+				return err
+			}
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadPFM reads a single-channel PFM.
+func ReadPFM(r io.Reader) (*Image, error) {
+	br := bufio.NewReader(r)
+	var magic string
+	if _, err := fmt.Fscan(br, &magic); err != nil {
+		return nil, fmt.Errorf("imgproc: reading PFM magic: %w", err)
+	}
+	if magic != "Pf" {
+		return nil, fmt.Errorf("imgproc: not a grayscale PFM (magic %q)", magic)
+	}
+	var w, h int
+	var scale float64
+	if _, err := fmt.Fscan(br, &w, &h, &scale); err != nil {
+		return nil, fmt.Errorf("imgproc: reading PFM header: %w", err)
+	}
+	if w <= 0 || h <= 0 || scale == 0 {
+		return nil, fmt.Errorf("imgproc: bad PFM header %dx%d scale %v", w, h, scale)
+	}
+	if _, err := br.ReadByte(); err != nil {
+		return nil, err
+	}
+	order := binary.ByteOrder(binary.LittleEndian)
+	if scale > 0 {
+		order = binary.BigEndian
+	}
+	buf := make([]byte, 4*w*h)
+	if _, err := io.ReadFull(br, buf); err != nil {
+		return nil, fmt.Errorf("imgproc: reading PFM pixels: %w", err)
+	}
+	im := NewImage(w, h)
+	i := 0
+	for y := h - 1; y >= 0; y-- {
+		for x := 0; x < w; x++ {
+			im.Set(x, y, math.Float32frombits(order.Uint32(buf[4*i:])))
+			i++
+		}
+	}
+	return im, nil
+}
+
+// SavePGM writes the image to path as 16-bit PGM.
+func SavePGM(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WritePGM(f, im); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPGM reads a PGM from path.
+func LoadPGM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPGM(f)
+}
+
+// SavePFM writes the image to path as PFM.
+func SavePFM(path string, im *Image) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := WritePFM(f, im); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadPFM reads a PFM from path.
+func LoadPFM(path string) (*Image, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadPFM(f)
+}

@@ -1,0 +1,99 @@
+package nn
+
+import "fmt"
+
+// Builder assembles a Network layer by layer, tracking the current
+// feature-map shape so each call only states what changes. Shape jumps
+// (cost-volume construction, skip concatenations) are expressed with Reseed.
+type Builder struct {
+	name       string
+	c, d, h, w int
+	layers     []Layer
+}
+
+// NewBuilder starts a network whose first layer consumes a c×h×w input.
+func NewBuilder(name string, c, h, w int) *Builder {
+	return &Builder{name: name, c: c, d: 1, h: h, w: w}
+}
+
+// Reseed overrides the current feature-map shape (2-D form).
+func (b *Builder) Reseed(c, h, w int) *Builder {
+	b.c, b.d, b.h, b.w = c, 1, h, w
+	return b
+}
+
+// Reseed3 overrides the current feature-map shape (3-D form).
+func (b *Builder) Reseed3(c, d, h, w int) *Builder {
+	b.c, b.d, b.h, b.w = c, d, h, w
+	return b
+}
+
+// Dims returns the current feature-map shape (c, d, h, w).
+func (b *Builder) Dims() (c, d, h, w int) { return b.c, b.d, b.h, b.w }
+
+func (b *Builder) push(l Layer) *Builder {
+	l.Validate()
+	b.layers = append(b.layers, l)
+	od, oh, ow := l.OutDims()
+	b.c, b.d, b.h, b.w = l.OutC, od, oh, ow
+	return b
+}
+
+// Conv appends a 2-D convolution.
+func (b *Builder) Conv(name string, stage Stage, outC, k, stride, pad int) *Builder {
+	return b.push(Layer{
+		Name: name, Kind: KindConv, Stage: stage,
+		InC: b.c, InD: 1, InH: b.h, InW: b.w,
+		OutC: outC, KD: 1, KH: k, KW: k, Stride: stride, Pad: pad,
+	})
+}
+
+// Deconv appends a 2-D deconvolution. pad is in the transposed-convolution
+// convention (the builder converts to upsampled-border padding).
+func (b *Builder) Deconv(name string, stage Stage, outC, k, stride, pad int) *Builder {
+	return b.push(Layer{
+		Name: name, Kind: KindDeconv, Stage: stage,
+		InC: b.c, InD: 1, InH: b.h, InW: b.w,
+		OutC: outC, KD: 1, KH: k, KW: k, Stride: stride, Pad: k - 1 - pad,
+	})
+}
+
+// Conv3 appends a 3-D convolution.
+func (b *Builder) Conv3(name string, stage Stage, outC, k, stride, pad int) *Builder {
+	if b.d == 1 {
+		panic(fmt.Sprintf("nn: Conv3 %q on a 2-D feature map; Reseed3 first", name))
+	}
+	return b.push(Layer{
+		Name: name, Kind: KindConv, Stage: stage,
+		InC: b.c, InD: b.d, InH: b.h, InW: b.w,
+		OutC: outC, KD: k, KH: k, KW: k, Stride: stride, Pad: pad,
+	})
+}
+
+// Deconv3 appends a 3-D deconvolution (transposed-convolution padding).
+func (b *Builder) Deconv3(name string, stage Stage, outC, k, stride, pad int) *Builder {
+	if b.d == 1 {
+		panic(fmt.Sprintf("nn: Deconv3 %q on a 2-D feature map; Reseed3 first", name))
+	}
+	return b.push(Layer{
+		Name: name, Kind: KindDeconv, Stage: stage,
+		InC: b.c, InD: b.d, InH: b.h, InW: b.w,
+		OutC: outC, KD: k, KH: k, KW: k, Stride: stride, Pad: k - 1 - pad,
+	})
+}
+
+// FC appends a fully connected layer from the flattened current shape.
+func (b *Builder) FC(name string, stage Stage, out int) *Builder {
+	return b.push(Layer{
+		Name: name, Kind: KindFC, Stage: stage,
+		InC: b.c * b.d * b.h * b.w, InD: 1, InH: 1, InW: 1,
+		OutC: out, KD: 1, KH: 1, KW: 1, Stride: 1, Pad: 0,
+	})
+}
+
+// Build finalizes the network.
+func (b *Builder) Build() *Network {
+	n := &Network{Name: b.name, Layers: b.layers}
+	n.Validate()
+	return n
+}

@@ -1,0 +1,103 @@
+package nn
+
+// The GAN zoo used for the generality study (paper Sec. 7.6, Fig. 14):
+// the six generators evaluated by GANNX. All are deconvolution-heavy;
+// 3D-GAN additionally exercises the 3-D transformation path.
+
+// GANZoo returns the six generator networks of the GANNX comparison.
+func GANZoo() []*Network {
+	return []*Network{
+		DCGAN(),
+		GPGAN(),
+		ArtGAN(),
+		MAGAN(),
+		ThreeDGAN(),
+		DiscoGAN(),
+	}
+}
+
+// DCGAN is the canonical deep-convolutional GAN generator:
+// z → 4×4×1024 → four stride-2 deconvolutions → 64×64×3.
+func DCGAN() *Network {
+	b := NewBuilder("DCGAN", 100, 1, 1)
+	b.FC("project", StageOther, 1024*4*4)
+	b.Reseed(1024, 4, 4)
+	b.Deconv("deconv1", StageOther, 512, 4, 2, 1)
+	b.Deconv("deconv2", StageOther, 256, 4, 2, 1)
+	b.Deconv("deconv3", StageOther, 128, 4, 2, 1)
+	b.Deconv("deconv4", StageOther, 3, 4, 2, 1)
+	return b.Build()
+}
+
+// GPGAN is the Gaussian-Poisson GAN blending generator: an encoder tower
+// feeding a fully deconvolutional decoder.
+func GPGAN() *Network {
+	b := NewBuilder("GP-GAN", 3, 64, 64)
+	b.Conv("enc1", StageOther, 64, 4, 2, 1)
+	b.Conv("enc2", StageOther, 128, 4, 2, 1)
+	b.Conv("enc3", StageOther, 256, 4, 2, 1)
+	b.Conv("enc4", StageOther, 512, 4, 2, 1)
+	b.FC("bottleneck", StageOther, 4000)
+	b.Reseed(1000, 2, 2)
+	b.Deconv("dec0", StageOther, 512, 4, 2, 1)
+	b.Deconv("dec1", StageOther, 256, 4, 2, 1)
+	b.Deconv("dec2", StageOther, 128, 4, 2, 1)
+	b.Deconv("dec3", StageOther, 64, 4, 2, 1)
+	b.Deconv("dec4", StageOther, 3, 4, 2, 1)
+	return b.Build()
+}
+
+// ArtGAN is the label-conditioned art generator (64×64 output).
+func ArtGAN() *Network {
+	b := NewBuilder("ArtGAN", 110, 1, 1)
+	b.FC("project", StageOther, 1024*4*4)
+	b.Reseed(1024, 4, 4)
+	b.Deconv("deconv1", StageOther, 512, 4, 2, 1)
+	b.Deconv("deconv2", StageOther, 256, 4, 2, 1)
+	b.Deconv("deconv3", StageOther, 128, 4, 2, 1)
+	b.Conv("refine1", StageOther, 128, 3, 1, 1)
+	b.Deconv("deconv4", StageOther, 3, 4, 2, 1)
+	return b.Build()
+}
+
+// MAGAN is the margin-adaptation GAN generator (DCGAN-class topology with a
+// wider first stage).
+func MAGAN() *Network {
+	b := NewBuilder("MAGAN", 100, 1, 1)
+	b.FC("project", StageOther, 2048*4*4)
+	b.Reseed(2048, 4, 4)
+	b.Deconv("deconv1", StageOther, 1024, 4, 2, 1)
+	b.Deconv("deconv2", StageOther, 512, 4, 2, 1)
+	b.Deconv("deconv3", StageOther, 256, 4, 2, 1)
+	b.Deconv("deconv4", StageOther, 3, 4, 2, 1)
+	return b.Build()
+}
+
+// ThreeDGAN is the volumetric-shape generator: four 3-D deconvolutions from
+// a 4³ seed to a 64³ occupancy grid. Its 3-D kernels hit the 8-sub-kernel
+// transformation path.
+func ThreeDGAN() *Network {
+	b := NewBuilder("3D-GAN", 200, 1, 1)
+	b.FC("project", StageOther, 512*4*4*4)
+	b.Reseed3(512, 4, 4, 4)
+	b.Deconv3("deconv1", StageOther, 256, 4, 2, 1)
+	b.Deconv3("deconv2", StageOther, 128, 4, 2, 1)
+	b.Deconv3("deconv3", StageOther, 64, 4, 2, 1)
+	b.Deconv3("deconv4", StageOther, 1, 4, 2, 1)
+	return b.Build()
+}
+
+// DiscoGAN is the cross-domain translation generator: a convolutional
+// encoder mirrored by a deconvolutional decoder.
+func DiscoGAN() *Network {
+	b := NewBuilder("DiscoGAN", 3, 64, 64)
+	b.Conv("enc1", StageOther, 64, 4, 2, 1)
+	b.Conv("enc2", StageOther, 128, 4, 2, 1)
+	b.Conv("enc3", StageOther, 256, 4, 2, 1)
+	b.Conv("enc4", StageOther, 512, 4, 2, 1)
+	b.Deconv("dec1", StageOther, 256, 4, 2, 1)
+	b.Deconv("dec2", StageOther, 128, 4, 2, 1)
+	b.Deconv("dec3", StageOther, 64, 4, 2, 1)
+	b.Deconv("dec4", StageOther, 3, 4, 2, 1)
+	return b.Build()
+}

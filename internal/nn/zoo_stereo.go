@@ -1,0 +1,224 @@
+package nn
+
+// The stereo-DNN zoo. Layer lists follow the published architectures
+// (FlowNetC: Fischer et al. 2015; DispNet: Mayer et al. 2016; GC-Net:
+// Kendall et al. 2017; PSMNet: Chang & Chen 2018) with shared-weight
+// feature towers expanded into their per-image cost. Spatial sizes are
+// parameterized by the input resolution; the paper evaluates at qHD
+// (960×540).
+
+// QHDW and QHDH are the evaluation resolution (paper Sec. 3.3).
+const (
+	QHDW = 960
+	QHDH = 540
+)
+
+// StereoZoo returns the four stereo networks at the given input resolution.
+func StereoZoo(h, w int) []*Network {
+	return []*Network{
+		FlowNetC(h, w),
+		DispNet(h, w),
+		GCNet(h, w),
+		PSMNet(h, w),
+	}
+}
+
+// FlowNetC builds the correlation-based FlowNet at the given resolution:
+// twin convolutional feature towers (FE), a correlation volume processed by
+// a deep encoder (MO), and a deconvolutional refinement decoder (DR).
+func FlowNetC(h, w int) *Network {
+	b := NewBuilder("FlowNetC", 3, h, w)
+	// Feature towers: conv1..conv3 run once per image.
+	for _, img := range []string{"a", "b"} {
+		b.Reseed(3, h, w)
+		b.Conv("conv1"+img, StageFE, 64, 7, 2, 3)
+		b.Conv("conv2"+img, StageFE, 128, 5, 2, 2)
+		b.Conv("conv3"+img, StageFE, 256, 5, 2, 2)
+	}
+	_, _, h8, w8 := b.Dims()
+	// Correlation output (441 displacement channels) + redirected features.
+	b.Reseed(256, h8, w8)
+	b.Conv("conv_redir", StageMO, 32, 1, 1, 0)
+	b.Reseed(441+32, h8, w8)
+	b.Conv("conv3_1", StageMO, 256, 3, 1, 1)
+	b.Conv("conv4", StageMO, 512, 3, 2, 1)
+	b.Conv("conv4_1", StageMO, 512, 3, 1, 1)
+	b.Conv("conv5", StageMO, 512, 3, 2, 1)
+	b.Conv("conv5_1", StageMO, 512, 3, 1, 1)
+	b.Conv("conv6", StageMO, 1024, 3, 2, 1)
+	b.Conv("conv6_1", StageMO, 1024, 3, 1, 1)
+	_, _, h64, w64 := b.Dims()
+
+	// Refinement decoder: deconv + flow prediction at each scale, with skip
+	// concatenations reflected in the input channel counts.
+	b.Reseed(1024, h64, w64)
+	b.Conv("predict_flow6", StageDR, 2, 3, 1, 1)
+	b.Reseed(1024, h64, w64)
+	b.Deconv("deconv5", StageDR, 512, 4, 2, 1)
+	_, _, h32, w32 := b.Dims()
+	b.Reseed(512+512+2, h32, w32)
+	b.Conv("predict_flow5", StageDR, 2, 3, 1, 1)
+	b.Reseed(512+512+2, h32, w32)
+	b.Deconv("deconv4", StageDR, 256, 4, 2, 1)
+	_, _, h16, w16 := b.Dims()
+	b.Reseed(256+512+2, h16, w16)
+	b.Conv("predict_flow4", StageDR, 2, 3, 1, 1)
+	b.Reseed(256+512+2, h16, w16)
+	b.Deconv("deconv3", StageDR, 128, 4, 2, 1)
+	_, _, hh8, ww8 := b.Dims()
+	b.Reseed(128+256+2, hh8, ww8)
+	b.Conv("predict_flow3", StageDR, 2, 3, 1, 1)
+	b.Reseed(128+256+2, hh8, ww8)
+	b.Deconv("deconv2", StageDR, 64, 4, 2, 1)
+	_, _, h4, w4 := b.Dims()
+	b.Reseed(64+128+2, h4, w4)
+	b.Conv("predict_flow2", StageDR, 2, 3, 1, 1)
+	return b.Build()
+}
+
+// DispNet builds the encoder/decoder disparity network over a concatenated
+// stereo pair.
+func DispNet(h, w int) *Network {
+	b := NewBuilder("DispNet", 6, h, w)
+	b.Conv("conv1", StageFE, 64, 7, 2, 3)
+	b.Conv("conv2", StageFE, 128, 5, 2, 2)
+	b.Conv("conv3a", StageMO, 256, 5, 2, 2)
+	b.Conv("conv3b", StageMO, 256, 3, 1, 1)
+	b.Conv("conv4a", StageMO, 512, 3, 2, 1)
+	b.Conv("conv4b", StageMO, 512, 3, 1, 1)
+	b.Conv("conv5a", StageMO, 512, 3, 2, 1)
+	b.Conv("conv5b", StageMO, 512, 3, 1, 1)
+	b.Conv("conv6a", StageMO, 1024, 3, 2, 1)
+	b.Conv("conv6b", StageMO, 1024, 3, 1, 1)
+
+	type up struct {
+		deconv string
+		outC   int
+		skipC  int
+		iconv  string
+	}
+	ups := []up{
+		{"deconv5", 512, 512, "iconv5"},
+		{"deconv4", 256, 512, "iconv4"},
+		{"deconv3", 128, 256, "iconv3"},
+		{"deconv2", 64, 128, "iconv2"},
+		{"deconv1", 32, 64, "iconv1"},
+	}
+	for _, u := range ups {
+		b.Deconv(u.deconv, StageDR, u.outC, 4, 2, 1)
+		_, _, hh, ww := b.Dims()
+		b.Reseed(u.outC+u.skipC+1, hh, ww) // skip + upsampled prediction
+		b.Conv(u.iconv, StageDR, u.outC, 3, 1, 1)
+	}
+	b.Conv("pr", StageDR, 1, 3, 1, 1)
+	return b.Build()
+}
+
+// gcNetMaxDisp is the disparity range of the 3-D cost volumes (the
+// published GC-Net/PSMNet configuration).
+const gcNetMaxDisp = 192
+
+// GCNet builds the 3-D cost-volume network: a residual 2-D feature tower,
+// a D/2-deep concatenation cost volume, a multi-scale 3-D conv encoder, and
+// a chain of 3-D deconvolutions back to full resolution.
+func GCNet(h, w int) *Network {
+	b := NewBuilder("GC-Net", 3, h, w)
+	// 2-D features, run once per image.
+	for _, img := range []string{"a", "b"} {
+		b.Reseed(3, h, w)
+		b.Conv("conv1"+img, StageFE, 32, 5, 2, 2)
+		for i := 0; i < 8; i++ {
+			b.Conv(resName("res", i, "a", img), StageFE, 32, 3, 1, 1)
+			b.Conv(resName("res", i, "b", img), StageFE, 32, 3, 1, 1)
+		}
+		b.Conv("conv18"+img, StageFE, 32, 3, 1, 1)
+	}
+	_, _, h2, w2 := b.Dims()
+	d2 := gcNetMaxDisp / 2
+
+	// Cost volume: 64 channels × D/2 × H/2 × W/2.
+	b.Reseed3(64, d2, h2, w2)
+	b.Conv3("3dconv19", StageMO, 32, 3, 1, 1)
+	b.Conv3("3dconv20", StageMO, 32, 3, 1, 1)
+	// Encoder: four downsampling stages.
+	chans := []int{64, 64, 64, 128}
+	for i, c := range chans {
+		b.Conv3(resName("3ddown", i, "s2", ""), StageMO, c, 3, 2, 1)
+		b.Conv3(resName("3ddown", i, "a", ""), StageMO, c, 3, 1, 1)
+		b.Conv3(resName("3ddown", i, "b", ""), StageMO, c, 3, 1, 1)
+	}
+	// Decoder: 3-D deconvolutions (additive skips keep channel counts).
+	b.Deconv3("3ddeconv1", StageDR, 64, 3, 2, 1)
+	b.Deconv3("3ddeconv2", StageDR, 64, 3, 2, 1)
+	b.Deconv3("3ddeconv3", StageDR, 64, 3, 2, 1)
+	b.Deconv3("3ddeconv4", StageDR, 32, 3, 2, 1)
+	b.Deconv3("3ddeconv5", StageDR, 1, 3, 2, 1)
+	return b.Build()
+}
+
+// PSMNet builds the pyramid stereo matching network: a deep shared feature
+// tower with SPP, a D/4 cost volume, and three stacked 3-D hourglasses
+// whose upsampling halves are 3-D deconvolutions.
+func PSMNet(h, w int) *Network {
+	b := NewBuilder("PSMNet", 3, h, w)
+	for _, img := range []string{"a", "b"} {
+		b.Reseed(3, h, w)
+		b.Conv("conv0_1"+img, StageFE, 32, 3, 2, 1)
+		b.Conv("conv0_2"+img, StageFE, 32, 3, 1, 1)
+		b.Conv("conv0_3"+img, StageFE, 32, 3, 1, 1)
+		for i := 0; i < 3; i++ { // layer1: 3 residual blocks @32
+			b.Conv(resName("l1", i, "a", img), StageFE, 32, 3, 1, 1)
+			b.Conv(resName("l1", i, "b", img), StageFE, 32, 3, 1, 1)
+		}
+		b.Conv("l2_down"+img, StageFE, 64, 3, 2, 1)
+		for i := 0; i < 16; i++ { // layer2: 16 residual blocks @64
+			b.Conv(resName("l2", i, "a", img), StageFE, 64, 3, 1, 1)
+			b.Conv(resName("l2", i, "b", img), StageFE, 64, 3, 1, 1)
+		}
+		for i := 0; i < 6; i++ { // layer3+4: dilated blocks @128
+			b.Conv(resName("l34", i, "a", img), StageFE, 128, 3, 1, 1)
+			b.Conv(resName("l34", i, "b", img), StageFE, 128, 3, 1, 1)
+		}
+		// SPP branches fused back to 32 channels.
+		_, _, h4, w4 := b.Dims()
+		b.Reseed(320, h4, w4)
+		b.Conv("spp_fuse1"+img, StageFE, 128, 3, 1, 1)
+		b.Conv("spp_fuse2"+img, StageFE, 32, 1, 1, 0)
+	}
+	_, _, h4, w4 := b.Dims()
+	d4 := gcNetMaxDisp / 4
+
+	b.Reseed3(64, d4, h4, w4)
+	b.Conv3("dres0_a", StageMO, 32, 3, 1, 1)
+	b.Conv3("dres0_b", StageMO, 32, 3, 1, 1)
+	b.Conv3("dres1_a", StageMO, 32, 3, 1, 1)
+	b.Conv3("dres1_b", StageMO, 32, 3, 1, 1)
+	for hg := 0; hg < 3; hg++ {
+		b.Conv3(resName("hg", hg, "down1", ""), StageMO, 64, 3, 2, 1)
+		b.Conv3(resName("hg", hg, "c1", ""), StageMO, 64, 3, 1, 1)
+		b.Conv3(resName("hg", hg, "down2", ""), StageMO, 64, 3, 2, 1)
+		b.Conv3(resName("hg", hg, "c2", ""), StageMO, 64, 3, 1, 1)
+		b.Deconv3(resName("hg", hg, "up1", ""), StageDR, 64, 3, 2, 1)
+		b.Deconv3(resName("hg", hg, "up2", ""), StageDR, 32, 3, 2, 1)
+		// Each hourglass returns (via its additive skips) to the cost-volume
+		// resolution before the next one starts.
+		b.Reseed3(32, d4, h4, w4)
+	}
+	b.Conv3("classif_a", StageDR, 32, 3, 1, 1)
+	b.Conv3("classif_b", StageDR, 1, 3, 1, 1)
+	return b.Build()
+}
+
+func resName(prefix string, i int, tag, img string) string {
+	s := prefix
+	if i >= 0 {
+		s += string(rune('0' + i%10))
+	}
+	if tag != "" {
+		s += "_" + tag
+	}
+	if img != "" {
+		s += img
+	}
+	return s
+}

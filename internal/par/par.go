@@ -1,0 +1,46 @@
+// Package par provides deterministic data parallelism for the pixel
+// kernels: work is split by index range across GOMAXPROCS workers, so the
+// output is bit-identical to a serial run (each index writes only its own
+// results).
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// For runs fn(i) for every i in [0, n) across up to GOMAXPROCS goroutines.
+// fn must not touch state owned by other indices. For small n the call is
+// executed inline to avoid goroutine overhead.
+func For(n int, fn func(i int)) {
+	workers := runtime.GOMAXPROCS(0)
+	if n < 2 || workers < 2 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			for i := lo; i < hi; i++ {
+				fn(i)
+			}
+		}(lo, hi)
+	}
+	wg.Wait()
+}

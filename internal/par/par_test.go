@@ -1,0 +1,42 @@
+package par
+
+import (
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func TestForCoversEveryIndexOnce(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 3, 7, 64, 1000} {
+		counts := make([]int32, n)
+		For(n, func(i int) { atomic.AddInt32(&counts[i], 1) })
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestForIsDeterministicPerIndex(t *testing.T) {
+	n := 257
+	out := make([]int, n)
+	For(n, func(i int) { out[i] = i * i })
+	for i := range out {
+		if out[i] != i*i {
+			t.Fatalf("index %d corrupted: %d", i, out[i])
+		}
+	}
+}
+
+func TestQuickForSum(t *testing.T) {
+	f := func(nRaw uint8) bool {
+		n := int(nRaw)
+		var sum int64
+		For(n, func(i int) { atomic.AddInt64(&sum, int64(i)) })
+		return sum == int64(n)*int64(n-1)/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,443 @@
+package schedule
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"asv/internal/hw"
+)
+
+// Result reports one scheduled layer (or an accumulated set of layers).
+type Result struct {
+	Name      string
+	Cycles    int64 // latency in PE-array clock cycles
+	MACs      int64 // MAC operations actually issued
+	DRAMBytes int64 // off-chip traffic
+	SRAMBytes int64 // on-chip buffer traffic
+	Rounds    int64 // double-buffered rounds executed
+}
+
+// Add accumulates o into r (keeping r's name) and returns the sum.
+func (r Result) Add(o Result) Result {
+	r.Cycles += o.Cycles
+	r.MACs += o.MACs
+	r.DRAMBytes += o.DRAMBytes
+	r.SRAMBytes += o.SRAMBytes
+	r.Rounds += o.Rounds
+	return r
+}
+
+// Partition is the baseline's static split of the usable buffer across
+// ifmap, weights and ofmap (fractions summing to 1).
+type Partition struct {
+	IfFrac, WFrac, OfFrac float64
+}
+
+// Validate panics if the partition is not a proper split.
+func (p Partition) Validate() {
+	if p.IfFrac <= 0 || p.WFrac <= 0 || p.OfFrac <= 0 ||
+		math.Abs(p.IfFrac+p.WFrac+p.OfFrac-1) > 1e-9 {
+		panic(fmt.Sprintf("schedule: invalid partition %+v", p))
+	}
+}
+
+// Order fixes the reuse order β of Equ. 7, or lets the optimizer choose.
+type Order int
+
+// Reuse orders.
+const (
+	// OrderAuto lets the optimizer pick the faster order per layer (the
+	// paper's formulation, where β is an optimization variable).
+	OrderAuto Order = iota
+	// OrderIfmapStationary keeps the ifmap tile resident while filter
+	// groups stream (β=0 in Equ. 7: weights reload per tile).
+	OrderIfmapStationary
+	// OrderWeightStationary keeps each filter group resident while ifmap
+	// tiles stream (β=1: the ifmap reloads per group).
+	OrderWeightStationary
+)
+
+// Options selects the scheduling policy for Evaluate.
+type Options struct {
+	// ILAR allows filters from different sub-kernels of one transformed
+	// deconvolution to share the resident ifmap tile. Without it each
+	// sub-convolution is scheduled as an independent layer (ConvR).
+	ILAR bool
+	// Static, when non-nil, disables the per-layer optimizer and uses the
+	// given whole-network buffer partition (the paper's baseline).
+	Static *Partition
+	// Order constrains the reuse order β (OrderAuto by default) — used by
+	// the reuse-order ablation.
+	Order Order
+}
+
+// allows reports whether the options permit the given concrete order.
+func (o Options) allows(ifmapStationary bool) bool {
+	switch o.Order {
+	case OrderIfmapStationary:
+		return ifmapStationary
+	case OrderWeightStationary:
+		return !ifmapStationary
+	default:
+		return true
+	}
+}
+
+// roundOverhead models the systolic-array fill/drain bubble per round.
+func roundOverhead(cfg hw.Config) int64 { return int64(cfg.PEsX + cfg.PEsY) }
+
+// group is one filter batch resident in the buffer: counts[k] filters of
+// sub-kernel k.
+type group struct {
+	counts []int64
+}
+
+// Evaluate schedules one layer under the given policy and returns its cost.
+func Evaluate(spec LayerSpec, cfg hw.Config, opt Options) Result {
+	spec.Validate()
+	cfg.Validate()
+	if opt.Static != nil {
+		opt.Static.Validate()
+	}
+	// ConvR: split a shared-ifmap layer into independent sub-convolutions;
+	// each reloads the ifmap itself.
+	if !opt.ILAR && spec.SharedIfmap && len(spec.Subs) > 1 {
+		total := Result{Name: spec.Name}
+		for i, sc := range spec.Subs {
+			sub := LayerSpec{
+				Name:          fmt.Sprintf("%s/sub%d", spec.Name, i),
+				InC:           spec.InC,
+				SpatialElems:  spec.SpatialElems,
+				DRAMIfmapFrac: spec.DRAMIfmapFrac,
+				Subs:          []SubConv{sc},
+			}
+			total = total.Add(evaluateSingle(sub, cfg, opt))
+		}
+		return total
+	}
+	r := evaluateSingle(spec, cfg, opt)
+	r.Name = spec.Name
+	return r
+}
+
+// evaluateSingle schedules a layer whose sub-convolutions (if several)
+// share the ifmap. It sweeps the tile size and both reuse orders (β of
+// Equ. 7) and returns the best latency found.
+func evaluateSingle(spec LayerSpec, cfg hw.Config, opt Options) Result {
+	usable := cfg.UsableBuf()
+	elemB := cfg.ElemBytes
+
+	best := Result{}
+	found := false
+	consider := func(r Result, ok bool) {
+		if ok && (!found || r.Cycles < best.Cycles) {
+			best = r
+			found = true
+		}
+	}
+
+	if opt.Static != nil {
+		ifBudget := int64(float64(usable) * opt.Static.IfFrac)
+		wBudget := int64(float64(usable) * opt.Static.WFrac)
+		ofBudget := int64(float64(usable) * opt.Static.OfFrac)
+		tileSpatial := ifBudget / (spec.InC * elemB)
+		if tileSpatial < 1 {
+			tileSpatial = 1
+		}
+		if tileSpatial > spec.SpatialElems {
+			tileSpatial = spec.SpatialElems
+		}
+		groups := packFilters(spec, tileSpatial, elemB, wBudget, ofBudget, -1)
+		consider(runSchedule(spec, cfg, tileSpatial, groups, true), opt.allows(true))
+		consider(runSchedule(spec, cfg, tileSpatial, groups, false), opt.allows(false))
+		best.Name = spec.Name
+		return best
+	}
+
+	// Optimized policy: sweep power-of-two tile sizes; for each tile the
+	// remaining buffer is packed with filters by the Knapsack-style greedy.
+	for tileSpatial := spec.SpatialElems; tileSpatial >= 1; tileSpatial = tileSpatial / 2 {
+		tileIfBytes := tileSpatial * spec.InC * elemB
+		rem := usable - tileIfBytes
+		if rem < usable/16 {
+			// The tile leaves too little room for filters; shrink further.
+			if tileSpatial == 1 {
+				rem = usable / 2 // degenerate layer: charge an oversized tile
+			} else {
+				continue
+			}
+		}
+		groups := packFilters(spec, tileSpatial, elemB, rem, rem, rem)
+		consider(runSchedule(spec, cfg, tileSpatial, groups, true), opt.allows(true))
+		consider(runSchedule(spec, cfg, tileSpatial, groups, false), opt.allows(false))
+		if tileSpatial == 1 {
+			break
+		}
+	}
+	best.Name = spec.Name
+	return best
+}
+
+// packFilters batches the layer's filters into buffer-resident groups.
+// Items are individual filters; the weight of a filter of sub-kernel k is
+// its parameter bytes plus its per-tile output bytes; the solver fills each
+// group greedily, prioritizing filters from large sub-kernels (highest MAC
+// value), and iterates until every filter is placed (Equ. 11).
+//
+// Budgets: wBudget bounds parameter bytes, ofBudget bounds output bytes;
+// combined >= 0 bounds their sum instead (the optimizer's free split).
+// A filter too large for its budget is placed alone in an oversized group —
+// its traffic is still charged, mirroring an accelerator streaming weights.
+func packFilters(spec LayerSpec, tileSpatial int64, elemB, wBudget, ofBudget, combined int64) []group {
+	type item struct {
+		k       int
+		wBytes  int64
+		ofBytes int64
+		left    int64
+	}
+	items := make([]item, len(spec.Subs))
+	tileFrac := float64(tileSpatial) / float64(spec.SpatialElems)
+	for k, sc := range spec.Subs {
+		of := int64(math.Ceil(float64(sc.OutPerFilter) * tileFrac))
+		if of < 1 {
+			of = 1
+		}
+		items[k] = item{
+			k:       k,
+			wBytes:  sc.Taps * spec.InC * elemB,
+			ofBytes: of * elemB,
+			left:    sc.Filters,
+		}
+	}
+	// Large sub-kernels first: more MACs amortized per resident byte.
+	sort.SliceStable(items, func(i, j int) bool {
+		return spec.Subs[items[i].k].Taps > spec.Subs[items[j].k].Taps
+	})
+
+	var groups []group
+	for {
+		remaining := false
+		for _, it := range items {
+			if it.left > 0 {
+				remaining = true
+			}
+		}
+		if !remaining {
+			break
+		}
+		g := group{counts: make([]int64, len(spec.Subs))}
+		wLeft, ofLeft, cLeft := wBudget, ofBudget, combined
+		placed := false
+		for i := range items {
+			it := &items[i]
+			if it.left == 0 {
+				continue
+			}
+			var fit int64
+			if combined >= 0 {
+				fit = cLeft / (it.wBytes + it.ofBytes)
+			} else {
+				fw := wLeft / it.wBytes
+				fo := ofLeft / it.ofBytes
+				fit = fw
+				if fo < fit {
+					fit = fo
+				}
+			}
+			if fit > it.left {
+				fit = it.left
+			}
+			if fit == 0 {
+				if !placed {
+					// Oversized single filter: schedule it alone.
+					g.counts[it.k] = 1
+					it.left--
+					placed = true
+					break
+				}
+				continue
+			}
+			g.counts[it.k] += fit
+			it.left -= fit
+			placed = true
+			if combined >= 0 {
+				cLeft -= fit * (it.wBytes + it.ofBytes)
+			} else {
+				wLeft -= fit * it.wBytes
+				ofLeft -= fit * it.ofBytes
+			}
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// runSchedule evaluates the round-based latency model (Equ. 5–9) for a
+// fixed tile size, filter grouping, and reuse order.
+//
+// ifmapStationary=true keeps the ifmap tile resident while filter groups
+// stream through (weights reloaded once per tile); false keeps each filter
+// group resident while ifmap tiles stream through (ifmap reloaded once per
+// group).
+func runSchedule(spec LayerSpec, cfg hw.Config, tileSpatial int64, groups []group, ifmapStationary bool) Result {
+	elemB := cfg.ElemBytes
+	bpc := cfg.BytesPerCycle()
+	a := int64(cfg.PEs())
+	ov := roundOverhead(cfg)
+
+	nFull := spec.SpatialElems / tileSpatial
+	remTile := spec.SpatialElems % tileSpatial
+
+	// Per-group constants.
+	type gInfo struct {
+		wBytes int64
+		active int // sub-kernels with filters in this group
+	}
+	gi := make([]gInfo, len(groups))
+	for i, g := range groups {
+		for k, c := range g.counts {
+			if c == 0 {
+				continue
+			}
+			gi[i].wBytes += c * spec.Subs[k].Taps * spec.InC * elemB
+			gi[i].active++
+		}
+	}
+
+	res := Result{MACs: 0}
+
+	// roundCost computes one round's compute and output volume for a tile of
+	// the given spatial size.
+	roundCost := func(g group, tile int64) (lc, ofBytes, macs int64) {
+		frac := float64(tile) / float64(spec.SpatialElems)
+		for k, c := range g.counts {
+			if c == 0 {
+				continue
+			}
+			outTile := int64(math.Ceil(float64(spec.Subs[k].OutPerFilter) * frac))
+			if outTile < 1 {
+				outTile = 1
+			}
+			m := spec.Subs[k].Taps * spec.InC * c * outTile
+			macs += m
+			// Sub-kernels are serialized on the array (Equ. 6's ceiling):
+			// one cannot start until the previous finishes, and each pays
+			// the systolic fill/drain bubble, which grows with the array.
+			lc += (m+a-1)/a + ov
+		}
+		return lc, ofBytesOf(spec, g, tile, elemB), macs
+	}
+
+	addRound := func(lc, memBytes, tileIfBytes, wBytes, ofBytes int64, nSubs int, times int64) {
+		if times == 0 {
+			return
+		}
+		lm := int64(math.Ceil(float64(memBytes) / bpc))
+		l := lc
+		if lm > l {
+			l = lm
+		}
+		res.Cycles += times * l
+		res.DRAMBytes += times * memBytes
+		// Buffer traffic: the resident tile is streamed once per active
+		// sub-kernel; weights and outputs cross the buffer once.
+		res.SRAMBytes += times * (int64(nSubs)*tileIfBytes + wBytes + ofBytes)
+		res.Rounds += times
+	}
+
+	tiles := []struct {
+		size  int64
+		times int64
+	}{}
+	if nFull > 0 {
+		tiles = append(tiles, struct{ size, times int64 }{tileSpatial, nFull})
+	}
+	if remTile > 0 {
+		tiles = append(tiles, struct{ size, times int64 }{remTile, 1})
+	}
+
+	frac := spec.dramIfmapFrac()
+	if ifmapStationary {
+		// Outer: tiles. Inner: groups. The tile loads with the first group.
+		for _, t := range tiles {
+			tileIfBytes := t.size * spec.InC * elemB
+			dramIfBytes := int64(float64(tileIfBytes) * frac)
+			for i, g := range groups {
+				lc, ofBytes, macs := roundCost(g, t.size)
+				mem := gi[i].wBytes + ofBytes
+				if i == 0 {
+					mem += dramIfBytes
+				}
+				addRound(lc, mem, tileIfBytes, gi[i].wBytes, ofBytes, gi[i].active, t.times)
+				res.MACs += t.times * macs
+			}
+		}
+	} else {
+		// Outer: groups. Inner: tiles. The group's weights load with the
+		// first tile.
+		for i, g := range groups {
+			for ti, t := range tiles {
+				tileIfBytes := t.size * spec.InC * elemB
+				dramIfBytes := int64(float64(tileIfBytes) * frac)
+				lc, ofBytes, macs := roundCost(g, t.size)
+				mem := dramIfBytes + ofBytes
+				times := t.times
+				if ti == 0 {
+					// First tile of the group also loads the weights.
+					addRound(lc, mem+gi[i].wBytes, tileIfBytes, gi[i].wBytes, ofBytes, gi[i].active, 1)
+					res.MACs += macs
+					times--
+				}
+				addRound(lc, mem, tileIfBytes, gi[i].wBytes, ofBytes, gi[i].active, times)
+				res.MACs += times * macs
+			}
+		}
+	}
+	return res
+}
+
+func ofBytesOf(spec LayerSpec, g group, tile int64, elemB int64) int64 {
+	frac := float64(tile) / float64(spec.SpatialElems)
+	var b int64
+	for k, c := range g.counts {
+		if c == 0 {
+			continue
+		}
+		outTile := int64(math.Ceil(float64(spec.Subs[k].OutPerFilter) * frac))
+		if outTile < 1 {
+			outTile = 1
+		}
+		b += c * outTile * elemB
+	}
+	return b
+}
+
+// BestStaticPartition exhaustively searches whole-network static buffer
+// partitions in 1/8 granularity and returns the one minimizing total
+// latency over specs — the paper's "strong baseline" (Sec. 6.2).
+func BestStaticPartition(specs []LayerSpec, cfg hw.Config) Partition {
+	bestCycles := int64(math.MaxInt64)
+	var best Partition
+	for i := 1; i <= 6; i++ {
+		for w := 1; w <= 6; w++ {
+			o := 8 - i - w
+			if o < 1 {
+				continue
+			}
+			p := Partition{IfFrac: float64(i) / 8, WFrac: float64(w) / 8, OfFrac: float64(o) / 8}
+			var total int64
+			for _, s := range specs {
+				total += Evaluate(s, cfg, Options{Static: &p}).Cycles
+				if total >= bestCycles {
+					break
+				}
+			}
+			if total < bestCycles {
+				bestCycles = total
+				best = p
+			}
+		}
+	}
+	return best
+}

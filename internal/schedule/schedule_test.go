@@ -1,0 +1,307 @@
+package schedule
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asv/internal/hw"
+	"asv/internal/nn"
+)
+
+func convLayer(inC, h, w, outC, k, stride, pad int) nn.Layer {
+	return nn.Layer{Name: "conv", Kind: nn.KindConv, InC: inC, InD: 1,
+		InH: h, InW: w, OutC: outC, KD: 1, KH: k, KW: k, Stride: stride, Pad: pad}
+}
+
+func deconvLayer(inC, h, w, outC, k int) nn.Layer {
+	return nn.Layer{Name: "deconv", Kind: nn.KindDeconv, InC: inC, InD: 1,
+		InH: h, InW: w, OutC: outC, KD: 1, KH: k, KW: k, Stride: 2, Pad: k - 1 - 1}
+}
+
+func deconv3Layer(inC, d, h, w, outC, k int) nn.Layer {
+	return nn.Layer{Name: "deconv3", Kind: nn.KindDeconv, InC: inC, InD: d,
+		InH: h, InW: w, OutC: outC, KD: k, KH: k, KW: k, Stride: 2, Pad: 1}
+}
+
+func TestNaiveSpecMatchesLayerMACs(t *testing.T) {
+	for _, l := range []nn.Layer{
+		convLayer(64, 64, 64, 32, 3, 1, 1),
+		deconvLayer(64, 32, 32, 32, 4),
+		deconv3Layer(32, 16, 16, 16, 32, 3),
+	} {
+		s := NaiveSpec(l)
+		if s.MACs() != l.MACs() {
+			t.Fatalf("%s: NaiveSpec MACs %d != layer MACs %d", l.Name, s.MACs(), l.MACs())
+		}
+	}
+}
+
+func TestNaiveDeconvInflatesIfmap(t *testing.T) {
+	l := deconvLayer(16, 32, 32, 16, 4)
+	naive := NaiveSpec(l)
+	xfrm := TransformedSpec(l)
+	if naive.SpatialElems <= xfrm.SpatialElems {
+		t.Fatal("upsampled ifmap should be larger than the original")
+	}
+	// Stride-2 upsampling inflates the plane ~4x.
+	r := float64(naive.SpatialElems) / float64(xfrm.SpatialElems)
+	if r < 3.5 || r > 4.8 {
+		t.Fatalf("ifmap inflation = %.2fx, want ~4x", r)
+	}
+}
+
+func TestTransformedSpecReducesMACs(t *testing.T) {
+	l := deconvLayer(32, 64, 64, 32, 4)
+	naive := NaiveSpec(l)
+	xfrm := TransformedSpec(l)
+	r := float64(naive.MACs()) / float64(xfrm.MACs())
+	if r < 3.3 || r > 4.5 {
+		t.Fatalf("transformation MAC reduction = %.2fx, want ~4x", r)
+	}
+	if !xfrm.SharedIfmap || len(xfrm.Subs) != 4 {
+		t.Fatal("transformed 2-D deconv should expose 4 shared-ifmap sub-convolutions")
+	}
+}
+
+func TestEvaluateMACConservation(t *testing.T) {
+	cfg := hw.Default()
+	for _, l := range []nn.Layer{
+		convLayer(64, 135, 240, 128, 3, 1, 1),
+		deconvLayer(128, 34, 60, 64, 4),
+	} {
+		for _, ilar := range []bool{false, true} {
+			spec := TransformedSpec(l)
+			r := Evaluate(spec, cfg, Options{ILAR: ilar})
+			lo, hi := spec.MACs(), spec.MACs()+spec.MACs()/10
+			if r.MACs < lo || r.MACs > hi {
+				t.Fatalf("%s ilar=%v: issued MACs %d outside [%d, %d]", l.Name, ilar, r.MACs, lo, hi)
+			}
+		}
+	}
+}
+
+func TestCyclesBoundedBelowByComputeRoofline(t *testing.T) {
+	cfg := hw.Default()
+	l := convLayer(64, 135, 240, 128, 3, 1, 1)
+	spec := NaiveSpec(l)
+	r := Evaluate(spec, cfg, Options{})
+	roof := spec.MACs() / int64(cfg.PEs())
+	if r.Cycles < roof {
+		t.Fatalf("cycles %d below compute roofline %d", r.Cycles, roof)
+	}
+	if r.Cycles > 4*roof {
+		t.Fatalf("cycles %d too far above roofline %d for a compute-bound conv", r.Cycles, roof)
+	}
+}
+
+func TestDRAMTrafficAtLeastCompulsory(t *testing.T) {
+	cfg := hw.Default()
+	l := convLayer(32, 128, 128, 64, 3, 1, 1)
+	spec := NaiveSpec(l)
+	r := Evaluate(spec, cfg, Options{})
+	compulsory := (spec.IfmapElems() + spec.WeightElems() + spec.OfmapElems()) * cfg.ElemBytes
+	if r.DRAMBytes < compulsory {
+		t.Fatalf("DRAM %d below compulsory %d", r.DRAMBytes, compulsory)
+	}
+}
+
+func TestOptimizedBeatsStaticPartition(t *testing.T) {
+	cfg := hw.Default()
+	p := Partition{IfFrac: 0.25, WFrac: 0.5, OfFrac: 0.25}
+	layers := []nn.Layer{
+		convLayer(256, 68, 120, 512, 3, 2, 1),
+		deconvLayer(512, 17, 30, 256, 4),
+		convLayer(3, 540, 960, 64, 7, 2, 3),
+	}
+	for _, l := range layers {
+		spec := NaiveSpec(l)
+		static := Evaluate(spec, cfg, Options{Static: &p})
+		opt := Evaluate(spec, cfg, Options{})
+		if opt.Cycles > static.Cycles {
+			t.Fatalf("%s: optimizer (%d) worse than static partition (%d)", l.Name, opt.Cycles, static.Cycles)
+		}
+	}
+}
+
+func TestILARReducesDRAMTraffic(t *testing.T) {
+	cfg := hw.Default()
+	// A deconvolution whose ifmap is large relative to the buffer, so
+	// sharing it across sub-convolutions matters.
+	l := deconvLayer(256, 68, 120, 256, 4)
+	spec := TransformedSpec(l)
+	convr := Evaluate(spec, cfg, Options{ILAR: false})
+	ilar := Evaluate(spec, cfg, Options{ILAR: true})
+	if ilar.DRAMBytes >= convr.DRAMBytes {
+		t.Fatalf("ILAR DRAM %d should be below ConvR %d", ilar.DRAMBytes, convr.DRAMBytes)
+	}
+	if ilar.Cycles > convr.Cycles+convr.Cycles/10 {
+		t.Fatalf("ILAR cycles %d should not exceed ConvR %d by >10%%", ilar.Cycles, convr.Cycles)
+	}
+}
+
+func TestTransformationSpeedsUpDeconv(t *testing.T) {
+	cfg := hw.Default()
+	l := deconvLayer(128, 68, 120, 128, 4)
+	naive := Evaluate(NaiveSpec(l), cfg, Options{})
+	xfrm := Evaluate(TransformedSpec(l), cfg, Options{ILAR: true})
+	speedup := float64(naive.Cycles) / float64(xfrm.Cycles)
+	if speedup < 2.0 {
+		t.Fatalf("transformation speedup = %.2fx, want >= 2x on a stride-2 deconv", speedup)
+	}
+}
+
+func Test3DTransformationSpeedsUpMore(t *testing.T) {
+	cfg := hw.Default()
+	l2 := deconvLayer(64, 64, 64, 64, 4)
+	l3 := deconv3Layer(64, 24, 32, 32, 64, 3)
+	s2 := float64(Evaluate(NaiveSpec(l2), cfg, Options{}).Cycles) /
+		float64(Evaluate(TransformedSpec(l2), cfg, Options{ILAR: true}).Cycles)
+	s3 := float64(Evaluate(NaiveSpec(l3), cfg, Options{}).Cycles) /
+		float64(Evaluate(TransformedSpec(l3), cfg, Options{ILAR: true}).Cycles)
+	if s3 <= s2 {
+		t.Fatalf("3-D speedup (%.2fx) should exceed 2-D (%.2fx)", s3, s2)
+	}
+}
+
+func TestMorePEsNeverSlower(t *testing.T) {
+	small := hw.Default()
+	small.PEsX, small.PEsY = 8, 8
+	big := hw.Default()
+	big.PEsX, big.PEsY = 48, 48
+	l := convLayer(128, 135, 240, 128, 3, 1, 1)
+	spec := NaiveSpec(l)
+	cs := Evaluate(spec, small, Options{}).Cycles
+	cb := Evaluate(spec, big, Options{}).Cycles
+	if cb > cs {
+		t.Fatalf("48x48 array slower (%d) than 8x8 (%d)", cb, cs)
+	}
+}
+
+func TestBestStaticPartitionIsValidAndDeterministic(t *testing.T) {
+	cfg := hw.Default()
+	net := nn.DispNet(270, 480)
+	specs := NetworkSpecs(net, false)
+	p1 := BestStaticPartition(specs, cfg)
+	p2 := BestStaticPartition(specs, cfg)
+	p1.Validate()
+	if p1 != p2 {
+		t.Fatal("partition search is nondeterministic")
+	}
+}
+
+func TestResultAdd(t *testing.T) {
+	a := Result{Name: "a", Cycles: 1, MACs: 2, DRAMBytes: 3, SRAMBytes: 4, Rounds: 5}
+	b := Result{Cycles: 10, MACs: 20, DRAMBytes: 30, SRAMBytes: 40, Rounds: 50}
+	c := a.Add(b)
+	if c.Name != "a" || c.Cycles != 11 || c.MACs != 22 || c.DRAMBytes != 33 ||
+		c.SRAMBytes != 44 || c.Rounds != 55 {
+		t.Fatalf("Add = %+v", c)
+	}
+}
+
+func TestPartitionValidate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Partition{IfFrac: 0.5, WFrac: 0.5, OfFrac: 0.5}.Validate()
+}
+
+func TestEvaluateInvalidSpecPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	Evaluate(LayerSpec{Name: "bad"}, hw.Default(), Options{})
+}
+
+// Property: latency never beats the combined compute/memory roofline.
+func TestQuickRooflineLowerBound(t *testing.T) {
+	cfg := hw.Default()
+	f := func(cRaw, fRaw, hRaw uint8) bool {
+		inC := int(cRaw)%64 + 1
+		outC := int(fRaw)%64 + 1
+		h := (int(hRaw)%32 + 4) * 2
+		spec := NaiveSpec(convLayer(inC, h, h, outC, 3, 1, 1))
+		r := Evaluate(spec, cfg, Options{})
+		computeRoof := spec.MACs() / int64(cfg.PEs())
+		memRoof := int64(float64((spec.IfmapElems()+spec.WeightElems()+spec.OfmapElems())*cfg.ElemBytes) / cfg.BytesPerCycle())
+		return r.Cycles >= computeRoof && r.Cycles >= memRoof/2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: ILAR never issues more DRAM traffic than ConvR on transformed
+// deconvolutions.
+func TestQuickILARNeverWorseTraffic(t *testing.T) {
+	cfg := hw.Default()
+	f := func(cRaw, hRaw uint8) bool {
+		inC := int(cRaw)%128 + 16
+		h := (int(hRaw)%24 + 8) * 2
+		spec := TransformedSpec(deconvLayer(inC, h, h, inC, 4))
+		convr := Evaluate(spec, cfg, Options{ILAR: false})
+		ilar := Evaluate(spec, cfg, Options{ILAR: true})
+		return ilar.DRAMBytes <= convr.DRAMBytes
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReuseOrderConstraint(t *testing.T) {
+	cfg := hw.Default()
+	spec := NaiveSpec(convLayer(128, 135, 240, 256, 3, 1, 1))
+	auto := Evaluate(spec, cfg, Options{})
+	ifm := Evaluate(spec, cfg, Options{Order: OrderIfmapStationary})
+	wst := Evaluate(spec, cfg, Options{Order: OrderWeightStationary})
+	// Auto picks the better of the two orders.
+	best := ifm.Cycles
+	if wst.Cycles < best {
+		best = wst.Cycles
+	}
+	if auto.Cycles != best {
+		t.Fatalf("auto (%d) should equal min(ifmap %d, weight %d)",
+			auto.Cycles, ifm.Cycles, wst.Cycles)
+	}
+}
+
+func TestReuseOrderChangesTraffic(t *testing.T) {
+	cfg := hw.Default()
+	// A layer whose ifmap is large and weights are small: weight-stationary
+	// must reload the big ifmap per group, ifmap-stationary the small
+	// weights per tile.
+	spec := NaiveSpec(convLayer(512, 135, 240, 32, 3, 1, 1))
+	ifm := Evaluate(spec, cfg, Options{Order: OrderIfmapStationary})
+	wst := Evaluate(spec, cfg, Options{Order: OrderWeightStationary})
+	if ifm.DRAMBytes == wst.DRAMBytes {
+		t.Fatal("the two reuse orders should produce different traffic on an asymmetric layer")
+	}
+}
+
+func TestOversizedFilterSchedulesAlone(t *testing.T) {
+	// One filter whose weights exceed the usable buffer: the packer must
+	// place it alone (traffic still charged) rather than loop forever.
+	cfg := hw.Default()
+	cfg.BufBytes = 64 << 10 // 64 KB total, 32 KB usable
+	spec := LayerSpec{
+		Name:         "fc-huge",
+		InC:          64 << 10, // one filter = 128 KB of weights
+		SpatialElems: 1,
+		Subs:         []SubConv{{Taps: 1, OutPerFilter: 1, Filters: 3}},
+	}
+	r := Evaluate(spec, cfg, Options{})
+	if r.Cycles <= 0 {
+		t.Fatal("no schedule produced")
+	}
+	if r.MACs < spec.MACs() {
+		t.Fatalf("MACs dropped: %d < %d", r.MACs, spec.MACs())
+	}
+	// All three oversized filters must still be scheduled (>= 3 rounds).
+	if r.Rounds < 3 {
+		t.Fatalf("rounds = %d, want >= 3 (one per oversized filter)", r.Rounds)
+	}
+}

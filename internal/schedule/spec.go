@@ -1,0 +1,173 @@
+// Package schedule implements ASV's constrained-optimization dataflow
+// framework (paper Sec. 4.2): the round-based latency model of Equ. 5–9,
+// the buffer constraint of Equ. 10, and the Knapsack-style solver that
+// packs sub-kernel filters into rounds, prioritizing filters from large
+// sub-kernels (the paper's greedy heuristic, applied iteratively until
+// every filter is scheduled — Equ. 11).
+//
+// The same machinery evaluates three scheduling policies:
+//
+//   - the baseline static buffer partition shared by all layers
+//     (paper Sec. 6.2),
+//   - per-layer reuse optimization with each sub-convolution scheduled
+//     independently (ConvR), and
+//   - inter-layer activation reuse, where all sub-convolutions of one
+//     transformed deconvolution share the resident ifmap tile (ILAR).
+package schedule
+
+import (
+	"fmt"
+
+	"asv/internal/deconv"
+	"asv/internal/nn"
+)
+
+// SubConv is one dense convolution to schedule: either an untransformed
+// layer or one sub-kernel of a transformed deconvolution.
+type SubConv struct {
+	Taps         int64 // kernel volume per (input channel, filter)
+	OutPerFilter int64 // ofmap elements each filter produces
+	Filters      int64 // output channels
+}
+
+// MACs returns the sub-convolution's total multiply-accumulates given the
+// spec's input channel count.
+func (s SubConv) MACs(inC int64) int64 {
+	return s.Taps * inC * s.OutPerFilter * s.Filters
+}
+
+// LayerSpec is the scheduling view of one network layer.
+type LayerSpec struct {
+	Name         string
+	InC          int64     // input channels I
+	SpatialElems int64     // ifmap spatial volume per channel (D*H*W)
+	Subs         []SubConv // the dense convolutions to run
+	SharedIfmap  bool      // true when Subs all read the same ifmap (ILAR)
+
+	// DRAMIfmapFrac is the fraction of the ifmap footprint that actually
+	// crosses DRAM. For a naive deconvolution the buffer holds the
+	// zero-upsampled tile, but the DMA engine zero-stuffs on the fly, so
+	// only the real elements are fetched (1/4 for stride-2 2-D, 1/8 for
+	// 3-D). Zero means 1 (everything real).
+	DRAMIfmapFrac float64
+}
+
+// dramIfmapFrac returns the effective fraction (treating 0 as 1).
+func (l LayerSpec) dramIfmapFrac() float64 {
+	if l.DRAMIfmapFrac == 0 {
+		return 1
+	}
+	return l.DRAMIfmapFrac
+}
+
+// IfmapElems returns the total ifmap volume.
+func (l LayerSpec) IfmapElems() int64 { return l.SpatialElems * l.InC }
+
+// WeightElems returns the total parameter volume.
+func (l LayerSpec) WeightElems() int64 {
+	var s int64
+	for _, sc := range l.Subs {
+		s += sc.Taps * l.InC * sc.Filters
+	}
+	return s
+}
+
+// OfmapElems returns the total output volume.
+func (l LayerSpec) OfmapElems() int64 {
+	var s int64
+	for _, sc := range l.Subs {
+		s += sc.OutPerFilter * sc.Filters
+	}
+	return s
+}
+
+// MACs returns the layer's total multiply-accumulates under this execution.
+func (l LayerSpec) MACs() int64 {
+	var s int64
+	for _, sc := range l.Subs {
+		s += sc.MACs(l.InC)
+	}
+	return s
+}
+
+// Validate panics on an inconsistent spec.
+func (l LayerSpec) Validate() {
+	if l.InC < 1 || l.SpatialElems < 1 || len(l.Subs) == 0 {
+		panic(fmt.Sprintf("schedule: invalid spec %q", l.Name))
+	}
+	for _, sc := range l.Subs {
+		if sc.Taps < 1 || sc.OutPerFilter < 1 || sc.Filters < 1 {
+			panic(fmt.Sprintf("schedule: invalid sub-conv in %q", l.Name))
+		}
+	}
+}
+
+// NaiveSpec returns the layer as a conventional accelerator executes it:
+// a deconvolution becomes a dense convolution over the zero-upsampled
+// ifmap, paying both the redundant MACs and the inflated ifmap traffic.
+func NaiveSpec(l nn.Layer) LayerSpec {
+	od, oh, ow := l.OutDims()
+	orig := int64(l.InD) * int64(l.InH) * int64(l.InW)
+	spatial := orig
+	dramFrac := 1.0
+	if l.Kind == nn.KindDeconv {
+		up := func(in int) int64 { return int64((in-1)*l.Stride + 1 + 2*l.Pad) }
+		spatial = up(l.InH) * up(l.InW)
+		if l.Is3D() {
+			spatial *= up(l.InD)
+		}
+		// The buffer holds the upsampled tile, but only the real elements
+		// cross DRAM (the DMA zero-stuffs during the fill).
+		dramFrac = float64(orig) / float64(spatial)
+	}
+	return LayerSpec{
+		Name:          l.Name,
+		InC:           int64(l.InC),
+		SpatialElems:  spatial,
+		DRAMIfmapFrac: dramFrac,
+		Subs: []SubConv{{
+			Taps:         int64(l.KD) * int64(l.KH) * int64(l.KW),
+			OutPerFilter: int64(od) * int64(oh) * int64(ow),
+			Filters:      int64(l.OutC),
+		}},
+	}
+}
+
+// TransformedSpec returns the layer after the deconvolution transformation:
+// stride-2 deconvolutions decompose into sub-convolutions over the original
+// ifmap (SharedIfmap=true); everything else is unchanged.
+func TransformedSpec(l nn.Layer) LayerSpec {
+	if l.Kind != nn.KindDeconv || l.Stride != deconv.Stride {
+		s := NaiveSpec(l)
+		return s
+	}
+	subs := deconv.Transform(l)
+	spec := LayerSpec{
+		Name:         l.Name,
+		InC:          int64(l.InC),
+		SpatialElems: int64(l.InD) * int64(l.InH) * int64(l.InW),
+		SharedIfmap:  true,
+	}
+	for _, s := range subs {
+		spec.Subs = append(spec.Subs, SubConv{
+			Taps:         s.Taps(),
+			OutPerFilter: s.OutElemsPerFilter(),
+			Filters:      int64(l.OutC),
+		})
+	}
+	return spec
+}
+
+// NetworkSpecs maps every layer of a network through the given spec
+// builder.
+func NetworkSpecs(n *nn.Network, transformed bool) []LayerSpec {
+	specs := make([]LayerSpec, 0, len(n.Layers))
+	for _, l := range n.Layers {
+		if transformed {
+			specs = append(specs, TransformedSpec(l))
+		} else {
+			specs = append(specs, NaiveSpec(l))
+		}
+	}
+	return specs
+}

@@ -1,0 +1,245 @@
+package stereo
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+
+	"asv/internal/imgproc"
+	"asv/internal/par"
+)
+
+// BMOptions configures SAD block matching.
+type BMOptions struct {
+	BlockR   int  // block radius: the block is (2r+1)×(2r+1)
+	MaxDisp  int  // maximum disparity searched in full-search mode
+	Subpixel bool // parabola-fit subpixel refinement around the winner
+	// UniqRatio, when positive, invalidates (-1) pixels whose best cost is
+	// not at least UniqRatio fractionally better than the runner-up at a
+	// non-adjacent disparity — the standard uniqueness test for repetitive
+	// texture.
+	UniqRatio float64
+	// Census switches the matching cost from SAD to census-Hamming with
+	// the given window radius (0 disables). Census costs are invariant to
+	// per-camera gain/offset, at a small cost in clean-image accuracy.
+	Census int
+}
+
+// coster abstracts the per-candidate block cost.
+type coster func(x, y, d int) float64
+
+// makeCoster builds the configured cost function.
+func makeCoster(left, right *imgproc.Image, opt BMOptions) coster {
+	if opt.Census > 0 {
+		cc := newCensusCosts(left, right, opt.Census)
+		return func(x, y, d int) float64 {
+			return cc.costAt(left, right, x, y, d, opt.BlockR)
+		}
+	}
+	return func(x, y, d int) float64 {
+		return sadAt(left, right, x, y, d, opt.BlockR)
+	}
+}
+
+// DefaultBMOptions returns the block-matching configuration used in the ASV
+// experiments: 4-pixel radius (9×9 blocks), 64-pixel search, subpixel on.
+func DefaultBMOptions() BMOptions {
+	return BMOptions{BlockR: 4, MaxDisp: 64, Subpixel: true}
+}
+
+// sadAt computes the SAD between the block around (x, y) in left and the
+// block around (x-d, y) in right.
+func sadAt(left, right *imgproc.Image, x, y, d, r int) float64 {
+	var s float64
+	for dy := -r; dy <= r; dy++ {
+		for dx := -r; dx <= r; dx++ {
+			s += math.Abs(float64(left.At(x+dx, y+dy) - right.At(x-d+dx, y+dy)))
+		}
+	}
+	return s
+}
+
+// subpixelFit refines a winning integer disparity by fitting a parabola to
+// the cost at d-1, d, d+1 (the classic equiangular fit).
+func subpixelFit(cm1, c0, cp1 float64) float64 {
+	den := cm1 - 2*c0 + cp1
+	if den <= 1e-12 {
+		return 0
+	}
+	off := 0.5 * (cm1 - cp1) / den
+	if off > 0.5 {
+		off = 0.5
+	} else if off < -0.5 {
+		off = -0.5
+	}
+	return off
+}
+
+// Match performs full-search SAD block matching: for every left pixel it
+// scans disparities 0..MaxDisp and keeps the winner-take-all disparity.
+func Match(left, right *imgproc.Image, opt BMOptions) *imgproc.Image {
+	if left.W != right.W || left.H != right.H {
+		panic(fmt.Sprintf("stereo: image sizes differ %dx%d vs %dx%d", left.W, left.H, right.W, right.H))
+	}
+	out := imgproc.NewImage(left.W, left.H)
+	cost := makeCoster(left, right, opt)
+	par.For(left.H, func(y int) {
+		costs := make([]float64, opt.MaxDisp+1)
+		for x := 0; x < left.W; x++ {
+			best := math.Inf(1)
+			bestD := 0
+			hi := opt.MaxDisp
+			if hi > x {
+				hi = x // disparity cannot look past the left border
+			}
+			for d := 0; d <= hi; d++ {
+				c := cost(x, y, d)
+				costs[d] = c
+				if c < best {
+					best, bestD = c, d
+				}
+			}
+			if opt.UniqRatio > 0 {
+				// Runner-up outside the winner's immediate neighbourhood.
+				second := math.Inf(1)
+				for d := 0; d <= hi; d++ {
+					if d >= bestD-1 && d <= bestD+1 {
+						continue
+					}
+					if costs[d] < second {
+						second = costs[d]
+					}
+				}
+				if second < best*(1+opt.UniqRatio) {
+					out.Set(x, y, -1)
+					continue
+				}
+			}
+			disp := float64(bestD)
+			if opt.Subpixel && bestD > 0 && bestD < hi {
+				disp += subpixelFit(costs[bestD-1], costs[bestD], costs[bestD+1])
+			}
+			out.Set(x, y, float32(disp))
+		}
+	})
+	return out
+}
+
+// Refine performs ISM's guided correspondence search (paper step 4): for
+// every pixel, it searches a 1-D window of ±searchR pixels centred on the
+// initial disparity estimate init, and returns the refined disparity map.
+// This is dramatically cheaper than Match because searchR << MaxDisp.
+func Refine(left, right, init *imgproc.Image, searchR int, opt BMOptions) *imgproc.Image {
+	if init.W != left.W || init.H != left.H {
+		panic("stereo: initial disparity size mismatch")
+	}
+	out := imgproc.NewImage(left.W, left.H)
+	cost := makeCoster(left, right, opt)
+	par.For(left.H, func(y int) {
+		costs := make([]float64, 2*searchR+1)
+		for x := 0; x < left.W; x++ {
+			center := int(math.Round(float64(init.At(x, y))))
+			lo := center - searchR
+			hi := center + searchR
+			if lo < 0 {
+				lo = 0
+			}
+			if hi > x {
+				hi = x
+			}
+			if lo > hi {
+				out.Set(x, y, 0)
+				continue
+			}
+			best := math.Inf(1)
+			bestD := lo
+			for d := lo; d <= hi; d++ {
+				c := cost(x, y, d)
+				costs[d-lo] = c
+				if c < best {
+					best, bestD = c, d
+				}
+			}
+			disp := float64(bestD)
+			if opt.Subpixel && bestD > lo && bestD < hi {
+				i := bestD - lo
+				disp += subpixelFit(costs[i-1], costs[i], costs[i+1])
+			}
+			out.Set(x, y, float32(disp))
+		}
+	})
+	return out
+}
+
+// MatchMACs returns the MAC cost of a full block-matching search on a w×h
+// frame (each SAD tap is one accumulate-absolute-difference, the operation
+// ASV adds to the PE).
+func MatchMACs(w, h int, opt BMOptions) int64 {
+	block := int64(2*opt.BlockR + 1)
+	return int64(w) * int64(h) * int64(opt.MaxDisp+1) * block * block
+}
+
+// RefineMACs returns the MAC cost of the guided search with ±searchR.
+func RefineMACs(w, h, searchR int, opt BMOptions) int64 {
+	block := int64(2*opt.BlockR + 1)
+	return int64(w) * int64(h) * int64(2*searchR+1) * block * block
+}
+
+// LeftRightCheck invalidates (sets to -1) disparities that fail the
+// left-right consistency test with tolerance tol pixels. dispL is on the
+// left grid, dispR on the right grid.
+func LeftRightCheck(dispL, dispR *imgproc.Image, tol float64) *imgproc.Image {
+	out := dispL.Clone()
+	for y := 0; y < dispL.H; y++ {
+		for x := 0; x < dispL.W; x++ {
+			d := float64(dispL.At(x, y))
+			xr := int(math.Round(float64(x) - d))
+			if xr < 0 || xr >= dispR.W {
+				out.Set(x, y, -1)
+				continue
+			}
+			dr := float64(dispR.At(xr, y))
+			if math.Abs(d-dr) > tol {
+				out.Set(x, y, -1)
+			}
+		}
+	}
+	return out
+}
+
+// censusCosts precomputes census descriptors for census-cost matching.
+type censusCosts struct {
+	l, r []uint64
+	w    int
+}
+
+func newCensusCosts(left, right *imgproc.Image, r int) *censusCosts {
+	return &censusCosts{l: census(left, r), r: census(right, r), w: left.W}
+}
+
+// costAt returns the block matching cost of aligning the block around
+// (x, y) in the left image with disparity d: Hamming distance between
+// census descriptors summed over the block.
+func (c *censusCosts) costAt(left, right *imgproc.Image, x, y, d, blockR int) float64 {
+	h := left.H
+	var s float64
+	for dy := -blockR; dy <= blockR; dy++ {
+		yy := clampInt(y+dy, 0, h-1)
+		for dx := -blockR; dx <= blockR; dx++ {
+			xx := clampInt(x+dx, 0, c.w-1)
+			xr := clampInt(xx-d, 0, c.w-1)
+			s += float64(bits.OnesCount64(c.l[yy*c.w+xx] ^ c.r[yy*c.w+xr]))
+		}
+	}
+	return s
+}
+
+func clampInt(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

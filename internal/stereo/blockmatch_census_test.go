@@ -1,0 +1,66 @@
+package stereo
+
+import (
+	"testing"
+
+	"asv/internal/imgproc"
+)
+
+// gainedPair is constPair with a photometric gain applied to the right
+// image, modelling exposure mismatch between the cameras.
+func gainedPair(w, h int, d float64, gain float32) (left, right, gt *imgproc.Image) {
+	left, right, gt = constPair(w, h, d)
+	for i := range right.Pix {
+		right.Pix[i] *= gain
+	}
+	return left, right, gt
+}
+
+func TestCensusMatchSurvivesGain(t *testing.T) {
+	left, right, gt := gainedPair(64, 40, 7, 1.6)
+
+	sad := DefaultBMOptions()
+	sad.MaxDisp = 16
+	sadErr := ThreePixelError(Match(left, right, sad), gt)
+
+	cen := sad
+	cen.Census = 2
+	cenErr := ThreePixelError(Match(left, right, cen), gt)
+
+	if cenErr > 10 {
+		t.Fatalf("census matching should survive a 60%% gain (error %.1f%%)", cenErr)
+	}
+	if sadErr < cenErr+10 {
+		t.Fatalf("SAD should degrade under gain: SAD %.1f%% vs census %.1f%%", sadErr, cenErr)
+	}
+}
+
+func TestCensusRefineSurvivesGain(t *testing.T) {
+	left, right, gt := gainedPair(64, 40, 9, 1.3)
+	init := gt.Clone()
+
+	sad := DefaultBMOptions()
+	sad.BlockR = 2
+	sadErr := ThreePixelError(Refine(left, right, init, 3, sad), gt)
+
+	cen := sad
+	cen.Census = 2
+	cenErr := ThreePixelError(Refine(left, right, init, 3, cen), gt)
+
+	if cenErr > 8 {
+		t.Fatalf("census refine should survive gain (error %.1f%%)", cenErr)
+	}
+	if sadErr < cenErr {
+		t.Fatalf("SAD refine should not beat census under gain: %.1f%% vs %.1f%%", sadErr, cenErr)
+	}
+}
+
+func TestCensusMatchStillWorksOnCleanPair(t *testing.T) {
+	left, right, gt := constPair(64, 40, 6)
+	opt := DefaultBMOptions()
+	opt.MaxDisp = 16
+	opt.Census = 2
+	if e := ThreePixelError(Match(left, right, opt), gt); e > 8 {
+		t.Fatalf("census matching on clean pair: error %.1f%%", e)
+	}
+}

@@ -1,0 +1,69 @@
+// Package stereo implements the classic stereo-vision substrate of ASV:
+// SAD block matching with guided 1-D search (ISM's refinement step),
+// semi-global matching as a high-accuracy classic baseline, triangulation,
+// and the three-pixel-error accuracy metric used in the evaluation.
+//
+// Disparity maps follow the paper's convention (Fig. 2b): the map is on the
+// reference (left) image grid and D(x,y) >= 0 is the horizontal displacement
+// such that Left(x, y) corresponds to Right(x - D, y) for cameras with the
+// right lens displaced to the right — equivalently, objects shift left in
+// the right image.
+package stereo
+
+import (
+	"fmt"
+	"math"
+
+	"asv/internal/imgproc"
+)
+
+// Camera describes a stereo rig's intrinsic and extrinsic parameters.
+type Camera struct {
+	BaselineM  float64 // distance between the lenses (metres)
+	FocalM     float64 // focal length (metres)
+	PixelSizeM float64 // physical size of one pixel on the sensor (metres)
+}
+
+// Bumblebee2 is the industry-standard stereo camera used for the paper's
+// Fig. 4 sensitivity analysis: B = 120 mm, f = 2.5 mm, 7.4 µm pixels.
+func Bumblebee2() Camera {
+	return Camera{BaselineM: 0.120, FocalM: 2.5e-3, PixelSizeM: 7.4e-6}
+}
+
+// Depth converts a disparity in pixels into a depth in metres via
+// triangulation (Equ. 1): D = B·f / Z where Z is the disparity expressed in
+// metres on the sensor. It returns +Inf for non-positive disparity.
+func (c Camera) Depth(disparityPx float64) float64 {
+	if disparityPx <= 0 {
+		return math.Inf(1)
+	}
+	return c.BaselineM * c.FocalM / (disparityPx * c.PixelSizeM)
+}
+
+// Disparity is the inverse of Depth: the disparity in pixels at which an
+// object at the given depth (metres) appears.
+func (c Camera) Disparity(depthM float64) float64 {
+	if depthM <= 0 {
+		panic(fmt.Sprintf("stereo: non-positive depth %v", depthM))
+	}
+	return c.BaselineM * c.FocalM / (depthM * c.PixelSizeM)
+}
+
+// DepthError returns the absolute depth-estimation error (metres) caused by
+// a disparity error of errPx pixels for an object at the given true depth.
+// This is the quantity plotted in Fig. 4.
+func (c Camera) DepthError(depthM, errPx float64) float64 {
+	d := c.Disparity(depthM)
+	est := c.Depth(d + errPx)
+	return math.Abs(est - depthM)
+}
+
+// DepthMap triangulates an entire disparity map into a depth map (metres).
+// Non-positive disparities produce +Inf depth.
+func (c Camera) DepthMap(disp *imgproc.Image) *imgproc.Image {
+	out := imgproc.NewImage(disp.W, disp.H)
+	for i, d := range disp.Pix {
+		out.Pix[i] = float32(c.Depth(float64(d)))
+	}
+	return out
+}

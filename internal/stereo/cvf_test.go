@@ -1,0 +1,61 @@
+package stereo
+
+import (
+	"testing"
+
+	"asv/internal/imgproc"
+)
+
+func TestCVFRecoversConstantDisparity(t *testing.T) {
+	left, right, gt := constPair(64, 40, 6)
+	opt := DefaultCVFOptions()
+	opt.MaxDisp = 16
+	disp := CostVolumeFilter(left, right, opt)
+	if e := ThreePixelError(disp, gt); e > 8 {
+		t.Fatalf("CVF three-pixel error = %v%%", e)
+	}
+}
+
+func TestCVFSubpixelImprovesMAE(t *testing.T) {
+	left, right, gt := constPair(64, 32, 5.5)
+	opt := DefaultCVFOptions()
+	opt.MaxDisp = 12
+	with := CostVolumeFilter(left, right, opt)
+	opt.Subpixel = false
+	without := CostVolumeFilter(left, right, opt)
+	if MeanAbsError(with, gt) >= MeanAbsError(without, gt) {
+		t.Fatal("subpixel refinement should reduce MAE")
+	}
+}
+
+func TestCVFTruncationBoundsCosts(t *testing.T) {
+	// An extreme outlier pixel must not poison its neighbourhood: with
+	// truncation, the aggregated disparity stays near the majority vote.
+	left, right, gt := constPair(48, 24, 4)
+	left.Set(24, 12, 50) // dead pixel
+	opt := DefaultCVFOptions()
+	opt.MaxDisp = 10
+	disp := CostVolumeFilter(left, right, opt)
+	if e := ThreePixelError(disp, gt); e > 10 {
+		t.Fatalf("truncated CVF should tolerate a dead pixel: error %v%%", e)
+	}
+}
+
+func TestCVFSizeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	CostVolumeFilter(imgproc.NewImage(8, 8), imgproc.NewImage(9, 8), DefaultCVFOptions())
+}
+
+func TestCVFMACsBetweenBMAndSGM(t *testing.T) {
+	// The frontier ordering the experiment relies on: CVF costs more than
+	// nothing, less than full block matching with the same range.
+	cvf := CVFMACs(960, 540, DefaultCVFOptions())
+	bm := MatchMACs(960, 540, DefaultBMOptions())
+	if cvf <= 0 || cvf >= bm {
+		t.Fatalf("CVF MACs %d should be positive and below BM's %d", cvf, bm)
+	}
+}

@@ -1,0 +1,87 @@
+package stereo
+
+import (
+	"fmt"
+	"math"
+
+	"asv/internal/imgproc"
+)
+
+// ThreePixelThreshold is the standard disparity-error tolerance: a pixel is
+// "correct" if its disparity is within 3 pixels of ground truth (KITTI
+// convention, paper Sec. 6.1).
+const ThreePixelThreshold = 3.0
+
+// ErrorRate returns the percentage of pixels whose |est-gt| exceeds the
+// threshold. Pixels with gt < 0 (invalid ground truth) are skipped, as are
+// est < 0 holes only when the ground truth is also invalid.
+func ErrorRate(est, gt *imgproc.Image, threshold float64) float64 {
+	if est.W != gt.W || est.H != gt.H {
+		panic(fmt.Sprintf("stereo: ErrorRate size mismatch %dx%d vs %dx%d", est.W, est.H, gt.W, gt.H))
+	}
+	var bad, total int
+	for i := range gt.Pix {
+		g := float64(gt.Pix[i])
+		if g < 0 {
+			continue
+		}
+		total++
+		if math.Abs(float64(est.Pix[i])-g) > threshold {
+			bad++
+		}
+	}
+	if total == 0 {
+		return 0
+	}
+	return 100 * float64(bad) / float64(total)
+}
+
+// ThreePixelError is ErrorRate with the standard 3-pixel threshold.
+func ThreePixelError(est, gt *imgproc.Image) float64 {
+	return ErrorRate(est, gt, ThreePixelThreshold)
+}
+
+// MeanAbsError returns the mean |est-gt| over valid ground-truth pixels.
+func MeanAbsError(est, gt *imgproc.Image) float64 {
+	var s float64
+	var n int
+	for i := range gt.Pix {
+		g := float64(gt.Pix[i])
+		if g < 0 {
+			continue
+		}
+		s += math.Abs(float64(est.Pix[i]) - g)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}
+
+// TemporalFlicker measures frame-to-frame disparity inconsistency: the
+// mean absolute difference between the estimated disparity change and the
+// ground-truth disparity change across two consecutive frames (over pixels
+// with valid ground truth in both). Independent per-frame matchers produce
+// uncorrelated errors and therefore flicker; temporally propagated
+// estimates (ISM) keep their errors correlated and score lower.
+func TemporalFlicker(prevEst, curEst, prevGT, curGT *imgproc.Image) float64 {
+	if prevEst.W != curEst.W || prevEst.H != curEst.H {
+		panic("stereo: TemporalFlicker size mismatch")
+	}
+	var s float64
+	var n int
+	for i := range curGT.Pix {
+		if prevGT.Pix[i] < 0 || curGT.Pix[i] < 0 {
+			continue
+		}
+		estDelta := float64(curEst.Pix[i] - prevEst.Pix[i])
+		gtDelta := float64(curGT.Pix[i] - prevGT.Pix[i])
+		s += math.Abs(estDelta - gtDelta)
+		n++
+	}
+	if n == 0 {
+		return 0
+	}
+	return s / float64(n)
+}

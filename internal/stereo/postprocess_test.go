@@ -1,0 +1,183 @@
+package stereo
+
+import (
+	"testing"
+	"testing/quick"
+
+	"asv/internal/imgproc"
+)
+
+func TestMedianFilterRemovesSaltNoise(t *testing.T) {
+	d := imgproc.NewImage(16, 16)
+	for i := range d.Pix {
+		d.Pix[i] = 5
+	}
+	d.Set(8, 8, 60) // impulse
+	out := MedianFilter(d, 1)
+	if out.At(8, 8) != 5 {
+		t.Fatalf("median did not remove impulse: %v", out.At(8, 8))
+	}
+}
+
+func TestMedianFilterIgnoresInvalid(t *testing.T) {
+	d := imgproc.NewImage(8, 8)
+	for i := range d.Pix {
+		d.Pix[i] = -1
+	}
+	d.Set(4, 4, 7)
+	out := MedianFilter(d, 1)
+	// (4,4)'s window holds one valid sample: itself.
+	if out.At(4, 4) != 7 {
+		t.Fatalf("valid pixel lost: %v", out.At(4, 4))
+	}
+	if out.At(0, 0) != -1 {
+		t.Fatal("pixel with no valid neighbours should stay invalid")
+	}
+}
+
+func TestMedianFilterPreservesStepEdge(t *testing.T) {
+	// A disparity discontinuity must not be smoothed away (medians keep
+	// edges; means do not).
+	d := imgproc.NewImage(16, 8)
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 16; x++ {
+			if x < 8 {
+				d.Set(x, y, 4)
+			} else {
+				d.Set(x, y, 12)
+			}
+		}
+	}
+	out := MedianFilter(d, 1)
+	if out.At(3, 4) != 4 || out.At(12, 4) != 12 {
+		t.Fatal("median corrupted flat regions")
+	}
+	for y := 0; y < 8; y++ {
+		for x := 0; x < 16; x++ {
+			if v := out.At(x, y); v != 4 && v != 12 {
+				t.Fatalf("median invented value %v at (%d,%d)", v, x, y)
+			}
+		}
+	}
+}
+
+func TestSpeckleFilterRemovesSmallIslands(t *testing.T) {
+	d := imgproc.NewImage(16, 16)
+	for i := range d.Pix {
+		d.Pix[i] = 3
+	}
+	// A 2x2 island at a different disparity.
+	d.Set(5, 5, 20)
+	d.Set(6, 5, 20)
+	d.Set(5, 6, 20)
+	d.Set(6, 6, 20)
+	out := SpeckleFilter(d, 1.0, 8)
+	for _, p := range [][2]int{{5, 5}, {6, 5}, {5, 6}, {6, 6}} {
+		if out.At(p[0], p[1]) != -1 {
+			t.Fatalf("island pixel (%d,%d) survived: %v", p[0], p[1], out.At(p[0], p[1]))
+		}
+	}
+	if out.At(0, 0) != 3 {
+		t.Fatal("large region was damaged")
+	}
+}
+
+func TestSpeckleFilterKeepsLargeRegions(t *testing.T) {
+	d := imgproc.NewImage(12, 12)
+	for i := range d.Pix {
+		d.Pix[i] = 3
+	}
+	out := SpeckleFilter(d, 1.0, 50)
+	for i, v := range out.Pix {
+		if v != 3 {
+			t.Fatalf("pixel %d of a large region invalidated", i)
+		}
+	}
+}
+
+func TestSpeckleFilterGradualRampIsOneRegion(t *testing.T) {
+	// A smooth ramp (ground plane) must connect through small steps.
+	d := imgproc.NewImage(20, 4)
+	for y := 0; y < 4; y++ {
+		for x := 0; x < 20; x++ {
+			d.Set(x, y, float32(x)*0.5)
+		}
+	}
+	out := SpeckleFilter(d, 0.6, 50)
+	for i, v := range out.Pix {
+		if v < 0 {
+			t.Fatalf("ramp pixel %d invalidated; ramp should be one region", i)
+		}
+	}
+}
+
+func TestFillInvalidTakesBackgroundSide(t *testing.T) {
+	d := imgproc.FromPix([]float32{8, -1, -1, 2}, 4, 1)
+	out := FillInvalid(d)
+	// Holes take the smaller (background) neighbour.
+	if out.At(1, 0) != 2 || out.At(2, 0) != 2 {
+		t.Fatalf("fill picked foreground: %v", out.Pix)
+	}
+}
+
+func TestFillInvalidEdgeCases(t *testing.T) {
+	d := imgproc.FromPix([]float32{-1, -1, 5, -1}, 4, 1)
+	out := FillInvalid(d)
+	if out.At(0, 0) != 5 || out.At(3, 0) != 5 {
+		t.Fatalf("one-sided fill failed: %v", out.Pix)
+	}
+	empty := imgproc.FromPix([]float32{-1, -1}, 2, 1)
+	out2 := FillInvalid(empty)
+	if out2.At(0, 0) != 0 || out2.At(1, 0) != 0 {
+		t.Fatal("all-invalid row should fill with 0")
+	}
+}
+
+// Property: post-processing never produces new invalid pixels from valid
+// input (median over a fully valid map stays valid), and FillInvalid always
+// produces a dense map.
+func TestQuickPostprocessTotality(t *testing.T) {
+	f := func(seed int64) bool {
+		d := imgproc.NewImage(12, 10)
+		s := seed
+		for i := range d.Pix {
+			s = s*6364136223846793005 + 1442695040888963407
+			v := float32((s>>33)%32) / 2
+			if (s>>41)%7 == 0 {
+				v = -1
+			}
+			d.Pix[i] = v
+		}
+		filled := FillInvalid(d)
+		for _, v := range filled.Pix {
+			if v < 0 {
+				return false
+			}
+		}
+		med := MedianFilter(filled, 1)
+		for _, v := range med.Pix {
+			if v < 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Pipeline-level check: on a rendered pair, LR-check + median + speckle +
+// fill should not hurt (and typically helps) the three-pixel error.
+func TestPostprocessPipelineDoesNotHurt(t *testing.T) {
+	left, right, gt := constPair(80, 48, 7)
+	opt := DefaultBMOptions()
+	opt.MaxDisp = 16
+	raw := Match(left, right, opt)
+	cleaned := FillInvalid(SpeckleFilter(MedianFilter(raw, 1), 1.0, 20))
+	rawErr := ThreePixelError(raw, gt)
+	cleanErr := ThreePixelError(cleaned, gt)
+	if cleanErr > rawErr+1 {
+		t.Fatalf("post-processing hurt accuracy: %.2f%% -> %.2f%%", rawErr, cleanErr)
+	}
+}

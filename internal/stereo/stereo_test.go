@@ -1,0 +1,328 @@
+package stereo
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"asv/internal/imgproc"
+)
+
+func texture(w, h int, phase float64) *imgproc.Image {
+	im := imgproc.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			fx, fy := float64(x), float64(y)
+			v := 0.5 +
+				0.22*math.Sin(0.55*fx+phase) +
+				0.18*math.Sin(0.47*fy-phase) +
+				0.12*math.Sin(0.23*(fx+fy)+2*phase) +
+				0.07*math.Sin(0.91*fx-0.33*fy)
+			im.Set(x, y, float32(v))
+		}
+	}
+	return im
+}
+
+// constPair builds a stereo pair where every pixel has disparity d:
+// right(x) = left(x+d).
+func constPair(w, h int, d float64) (left, right, gt *imgproc.Image) {
+	tex := texture(w+64, h, 0.4)
+	left = imgproc.NewImage(w, h)
+	right = imgproc.NewImage(w, h)
+	gt = imgproc.NewImage(w, h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			left.Set(x, y, tex.At(x+32, y))
+			right.Set(x, y, tex.Bilinear(float32(x+32)+float32(d), float32(y)))
+			if float64(x) <= d {
+				gt.Set(x, y, -1) // out of the right camera's view: no GT
+			} else {
+				gt.Set(x, y, float32(d))
+			}
+		}
+	}
+	return left, right, gt
+}
+
+func TestCameraTriangulationRoundTrip(t *testing.T) {
+	c := Bumblebee2()
+	for _, depth := range []float64{5, 10, 15, 30} {
+		d := c.Disparity(depth)
+		if got := c.Depth(d); math.Abs(got-depth) > 1e-9 {
+			t.Fatalf("Depth(Disparity(%v)) = %v", depth, got)
+		}
+	}
+}
+
+func TestCameraDepthOfZeroDisparityIsInfinite(t *testing.T) {
+	if !math.IsInf(Bumblebee2().Depth(0), 1) {
+		t.Fatal("zero disparity should mean infinite depth")
+	}
+}
+
+func TestFig4DepthSensitivity(t *testing.T) {
+	// Paper Fig. 4: at 30 m, a 0.2-pixel disparity error costs metres of
+	// depth error (0.5–5 m band across 10/15/30 m).
+	c := Bumblebee2()
+	e30 := c.DepthError(30, 0.2)
+	if e30 < 2 || e30 > 6 {
+		t.Fatalf("depth error at 30m/0.2px = %v m, want 2–6 m", e30)
+	}
+	e10 := c.DepthError(10, 0.2)
+	if e10 >= e30 {
+		t.Fatal("closer objects should suffer smaller absolute depth error")
+	}
+	if c.DepthError(30, 0.1) >= e30 {
+		t.Fatal("depth error should grow with disparity error")
+	}
+}
+
+func TestMatchRecoversConstantDisparity(t *testing.T) {
+	left, right, gt := constPair(64, 32, 7)
+	opt := DefaultBMOptions()
+	opt.MaxDisp = 20
+	disp := Match(left, right, opt)
+	if e := ThreePixelError(disp, gt); e > 5 {
+		t.Fatalf("three-pixel error = %v%%, want <= 5%%", e)
+	}
+}
+
+func TestMatchSubpixelImprovesMAE(t *testing.T) {
+	left, right, gt := constPair(64, 32, 6.4)
+	opt := DefaultBMOptions()
+	opt.MaxDisp = 16
+	withSub := Match(left, right, opt)
+	opt.Subpixel = false
+	without := Match(left, right, opt)
+	if MeanAbsError(withSub, gt) >= MeanAbsError(without, gt) {
+		t.Fatal("subpixel refinement should reduce mean absolute error")
+	}
+}
+
+func TestRefineTracksGoodInitializer(t *testing.T) {
+	left, right, gt := constPair(64, 32, 9)
+	init := gt.Clone() // perfect initializer
+	out := Refine(left, right, init, 2, DefaultBMOptions())
+	if e := ThreePixelError(out, gt); e > 2 {
+		t.Fatalf("refine with perfect init: error %v%%", e)
+	}
+}
+
+func TestRefineCorrectsSmallInitError(t *testing.T) {
+	left, right, gt := constPair(64, 32, 9)
+	init := gt.Clone()
+	for i := range init.Pix {
+		init.Pix[i] += 2 // biased initializer within the search window
+	}
+	out := Refine(left, right, init, 3, DefaultBMOptions())
+	if e := MeanAbsError(out, gt); e > 1.0 {
+		t.Fatalf("refine failed to correct 2px init bias: MAE %v", e)
+	}
+}
+
+func TestRefineCannotEscapeWindow(t *testing.T) {
+	left, right, gt := constPair(64, 32, 12)
+	init := imgproc.NewImage(64, 32) // init = 0 everywhere, 12px off
+	out := Refine(left, right, init, 2, DefaultBMOptions())
+	// With a ±2 window around 0, the true disparity 12 is unreachable.
+	if e := ThreePixelError(out, gt); e < 50 {
+		t.Fatalf("refine escaped its window? error %v%%", e)
+	}
+}
+
+func TestRefineCheaperThanMatch(t *testing.T) {
+	opt := DefaultBMOptions()
+	full := MatchMACs(960, 540, opt)
+	guided := RefineMACs(960, 540, 3, opt)
+	if guided*5 > full {
+		t.Fatalf("guided search should be >5x cheaper: %d vs %d", guided, full)
+	}
+}
+
+func TestSGMRecoversConstantDisparity(t *testing.T) {
+	left, right, gt := constPair(64, 40, 5)
+	opt := DefaultSGMOptions()
+	opt.MaxDisp = 16
+	disp := SGM(left, right, opt)
+	if e := ThreePixelError(disp, gt); e > 5 {
+		t.Fatalf("SGM three-pixel error = %v%%", e)
+	}
+}
+
+func TestSGM4PathsAlsoWorks(t *testing.T) {
+	left, right, gt := constPair(48, 32, 4)
+	opt := DefaultSGMOptions()
+	opt.MaxDisp = 12
+	opt.Paths = 4
+	disp := SGM(left, right, opt)
+	if e := ThreePixelError(disp, gt); e > 8 {
+		t.Fatalf("SGM-4 three-pixel error = %v%%", e)
+	}
+}
+
+func TestSGMInvalidPathsPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	SGM(imgproc.NewImage(8, 8), imgproc.NewImage(8, 8), SGMOptions{MaxDisp: 4, CensusR: 1, Paths: 5})
+}
+
+func TestCensusConstantImageIsZero(t *testing.T) {
+	im := imgproc.NewImage(10, 10)
+	for _, d := range census(im, 2) {
+		if d != 0 {
+			t.Fatal("census of constant image must be all-zero descriptors")
+		}
+	}
+}
+
+func TestCensusRadiusTooLargePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	census(imgproc.NewImage(10, 10), 4) // 80 neighbour bits > 64
+}
+
+func TestLeftRightCheckInvalidatesMismatch(t *testing.T) {
+	dl := imgproc.NewImage(8, 1)
+	dr := imgproc.NewImage(8, 1)
+	for x := 0; x < 8; x++ {
+		dl.Set(x, 0, 2)
+	}
+	// Right map disagrees except at x=5 (which maps to xr=3).
+	dr.Set(3, 0, 2)
+	out := LeftRightCheck(dl, dr, 0.5)
+	if out.At(5, 0) != 2 {
+		t.Fatal("consistent pixel was invalidated")
+	}
+	if out.At(6, 0) != -1 {
+		t.Fatal("inconsistent pixel survived")
+	}
+	if out.At(1, 0) != -1 {
+		t.Fatal("out-of-view pixel survived")
+	}
+}
+
+func TestErrorRateHandComputed(t *testing.T) {
+	est := imgproc.FromPix([]float32{0, 10, 5, 5}, 4, 1)
+	gt := imgproc.FromPix([]float32{0, 0, 5, -1}, 4, 1)
+	// Valid pixels: 3 (last has invalid gt). Bad: pixel 1 (off by 10).
+	if e := ThreePixelError(est, gt); math.Abs(e-100.0/3) > 1e-9 {
+		t.Fatalf("error rate = %v, want 33.33", e)
+	}
+}
+
+func TestErrorRateAllInvalidGT(t *testing.T) {
+	est := imgproc.FromPix([]float32{1, 2}, 2, 1)
+	gt := imgproc.FromPix([]float32{-1, -1}, 2, 1)
+	if ThreePixelError(est, gt) != 0 {
+		t.Fatal("error over empty valid set should be 0")
+	}
+}
+
+func TestMeanAbsError(t *testing.T) {
+	est := imgproc.FromPix([]float32{1, 3}, 2, 1)
+	gt := imgproc.FromPix([]float32{0, 0}, 2, 1)
+	if MeanAbsError(est, gt) != 2 {
+		t.Fatalf("MAE = %v, want 2", MeanAbsError(est, gt))
+	}
+}
+
+func TestSGMMACsGrowWithPathsAndRange(t *testing.T) {
+	opt := DefaultSGMOptions()
+	base := SGMMACs(100, 100, opt)
+	opt.Paths = 4
+	if SGMMACs(100, 100, opt) >= base {
+		t.Fatal("fewer paths should cost less")
+	}
+	opt.Paths = 8
+	opt.MaxDisp = 128
+	if SGMMACs(100, 100, opt) <= base {
+		t.Fatal("larger range should cost more")
+	}
+}
+
+// Property: an estimate equal to ground truth has zero error for any map.
+func TestQuickErrorRateZeroOnExact(t *testing.T) {
+	f := func(seed int64) bool {
+		gt := texture(16, 8, float64(seed%10))
+		return ThreePixelError(gt, gt) == 0 && MeanAbsError(gt, gt) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: triangulated depth decreases monotonically with disparity.
+func TestQuickDepthMonotonic(t *testing.T) {
+	c := Bumblebee2()
+	f := func(a, b uint8) bool {
+		da := float64(a)/16 + 0.1
+		db := float64(b)/16 + 0.1
+		if da == db {
+			return true
+		}
+		if da > db {
+			da, db = db, da
+		}
+		return c.Depth(da) > c.Depth(db)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDepthMap(t *testing.T) {
+	c := Bumblebee2()
+	disp := imgproc.FromPix([]float32{1, 2, 0, 4}, 4, 1)
+	dm := c.DepthMap(disp)
+	if !math.IsInf(float64(dm.At(2, 0)), 1) {
+		t.Fatal("zero disparity should triangulate to +Inf")
+	}
+	if math.Abs(float64(dm.At(0, 0))-c.Depth(1)) > 1e-3 {
+		t.Fatal("depth map disagrees with scalar triangulation")
+	}
+}
+
+func TestTemporalFlickerZeroForPerfectTracking(t *testing.T) {
+	// Estimates that follow ground truth exactly have zero flicker even
+	// when the scene moves.
+	gt1 := imgproc.FromPix([]float32{4, 5, 6, 7}, 4, 1)
+	gt2 := imgproc.FromPix([]float32{5, 6, 7, 8}, 4, 1)
+	if f := TemporalFlicker(gt1, gt2, gt1, gt2); f != 0 {
+		t.Fatalf("perfect tracking flicker = %v, want 0", f)
+	}
+	// A constant estimation bias also cancels (it is temporally stable).
+	est1 := gt1.Clone()
+	est2 := gt2.Clone()
+	for i := range est1.Pix {
+		est1.Pix[i] += 2
+		est2.Pix[i] += 2
+	}
+	if f := TemporalFlicker(est1, est2, gt1, gt2); f != 0 {
+		t.Fatalf("stable-bias flicker = %v, want 0", f)
+	}
+}
+
+func TestTemporalFlickerDetectsInconsistency(t *testing.T) {
+	gt := imgproc.FromPix([]float32{4, 4}, 2, 1)
+	est1 := imgproc.FromPix([]float32{4, 4}, 2, 1)
+	est2 := imgproc.FromPix([]float32{6, 2}, 2, 1) // jitters ±2
+	if f := TemporalFlicker(est1, est2, gt, gt); f != 2 {
+		t.Fatalf("flicker = %v, want 2", f)
+	}
+}
+
+func TestTemporalFlickerSkipsInvalidGT(t *testing.T) {
+	gt1 := imgproc.FromPix([]float32{-1, 4}, 2, 1)
+	gt2 := imgproc.FromPix([]float32{4, 4}, 2, 1)
+	est := imgproc.FromPix([]float32{0, 4}, 2, 1)
+	if f := TemporalFlicker(est, est, gt1, gt2); f != 0 {
+		t.Fatalf("flicker over the single valid pixel = %v, want 0", f)
+	}
+}

@@ -1,0 +1,238 @@
+package systolic
+
+import (
+	"testing"
+
+	"asv/internal/core"
+	"asv/internal/hw"
+	"asv/internal/nn"
+)
+
+func nonKeyQHD() NonKeyCost {
+	p := core.New(nil, core.DefaultConfig())
+	am, so := p.NonKeyBreakdown(nn.QHDW, nn.QHDH)
+	return NonKeyCost{ArrayMACs: am, ScalarOps: so, FrameBytes: int64(7 * nn.QHDW * nn.QHDH * 2)}
+}
+
+func TestPolicyString(t *testing.T) {
+	want := map[Policy]string{
+		PolicyBaseline: "baseline", PolicyDCT: "dct",
+		PolicyConvR: "convr", PolicyILAR: "ilar",
+	}
+	for p, s := range want {
+		if p.String() != s {
+			t.Fatalf("Policy(%d).String() = %q, want %q", int(p), p.String(), s)
+		}
+	}
+}
+
+func TestRunNetworkReportsComplete(t *testing.T) {
+	acc := Default()
+	n := nn.DispNet(135, 240)
+	rep := acc.RunNetwork(n, PolicyBaseline)
+	if rep.Cycles <= 0 || rep.MACs <= 0 || rep.EnergyJ <= 0 || rep.DRAMBytes <= 0 {
+		t.Fatalf("incomplete report: %+v", rep)
+	}
+	if len(rep.PerLayer) != len(n.Layers) {
+		t.Fatalf("per-layer count %d != layer count %d", len(rep.PerLayer), len(n.Layers))
+	}
+	if rep.DeconvCycles <= 0 || rep.DeconvCycles >= rep.Cycles {
+		t.Fatalf("deconv slice %d out of range (total %d)", rep.DeconvCycles, rep.Cycles)
+	}
+	if rep.Seconds <= 0 || rep.FPS() <= 0 {
+		t.Fatal("no latency reported")
+	}
+}
+
+func TestPolicyOrderingOnDeconvHeavyNet(t *testing.T) {
+	acc := Default()
+	n := nn.FlowNetC(135, 240)
+	base := acc.RunNetwork(n, PolicyBaseline)
+	dct := acc.RunNetwork(n, PolicyDCT)
+	convr := acc.RunNetwork(n, PolicyConvR)
+	ilar := acc.RunNetwork(n, PolicyILAR)
+	if !(base.Cycles > dct.Cycles) {
+		t.Fatalf("DCT (%d) should beat baseline (%d)", dct.Cycles, base.Cycles)
+	}
+	if convr.Cycles > dct.Cycles {
+		t.Fatalf("ConvR (%d) should not lose to DCT's static partition (%d)", convr.Cycles, dct.Cycles)
+	}
+	if ilar.Cycles > convr.Cycles+convr.Cycles/20 {
+		t.Fatalf("ILAR (%d) should track ConvR (%d)", ilar.Cycles, convr.Cycles)
+	}
+	if ilar.EnergyJ > convr.EnergyJ {
+		t.Fatalf("ILAR energy (%v) should not exceed ConvR (%v)", ilar.EnergyJ, convr.EnergyJ)
+	}
+}
+
+// The Fig. 10/11 headline shape at the paper's qHD resolution.
+func TestFig10HeadlineShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qHD sweep in -short mode")
+	}
+	acc := Default()
+	nk := nonKeyQHD()
+	var spSum, enSum float64
+	var count int
+	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
+		base := acc.RunNetwork(n, PolicyBaseline)
+		dco := acc.RunNetwork(n, PolicyILAR)
+		both := acc.RunISM(n, PolicyILAR, 4, nk)
+
+		dcoSp := float64(base.Cycles) / float64(dco.Cycles)
+		if dcoSp < 1.15 || dcoSp > 2.2 {
+			t.Errorf("%s: DCO speedup %.2fx outside the ~1.3–1.6x band", n.Name, dcoSp)
+		}
+		bothSp := base.Seconds / both.Seconds
+		if bothSp < 2.5 || bothSp > 9 {
+			t.Errorf("%s: DCO+ISM speedup %.2fx outside the ~5x band", n.Name, bothSp)
+		}
+		bothEn := 1 - both.EnergyJ/base.EnergyJ
+		if bothEn < 0.65 || bothEn > 0.95 {
+			t.Errorf("%s: DCO+ISM energy saving %.0f%% outside the ~85%% band", n.Name, 100*bothEn)
+		}
+		spSum += bothSp
+		enSum += bothEn
+		count++
+
+		// ISM contributes more than DCO (paper Sec. 7.3).
+		ism := acc.RunISM(n, PolicyBaseline, 4, nk)
+		ismSp := base.Seconds / ism.Seconds
+		if ismSp <= dcoSp {
+			t.Errorf("%s: ISM (%.2fx) should out-contribute DCO (%.2fx)", n.Name, ismSp, dcoSp)
+		}
+	}
+	if avg := spSum / float64(count); avg < 4 || avg > 7 {
+		t.Errorf("average DCO+ISM speedup %.2fx, paper reports 4.9x", avg)
+	}
+	if avg := enSum / float64(count); avg < 0.75 || avg > 0.92 {
+		t.Errorf("average energy saving %.0f%%, paper reports 85%%", 100*avg)
+	}
+}
+
+// Fig. 11a: the transformation dominates deconv-layer gains; 3-D networks
+// gain more than 2-D ones.
+func TestFig11DeconvLayerGains(t *testing.T) {
+	if testing.Short() {
+		t.Skip("qHD sweep in -short mode")
+	}
+	acc := Default()
+	speedup := func(n *nn.Network) float64 {
+		base := acc.RunNetwork(n, PolicyBaseline)
+		ilar := acc.RunNetwork(n, PolicyILAR)
+		return float64(base.DeconvCycles) / float64(ilar.DeconvCycles)
+	}
+	d2 := speedup(nn.DispNet(nn.QHDH, nn.QHDW))
+	d3 := speedup(nn.PSMNet(nn.QHDH, nn.QHDW))
+	if d2 < 3.2 || d2 > 5.0 {
+		t.Errorf("2-D deconv-layer speedup %.2fx, want ~3.9x", d2)
+	}
+	if d3 < 5.5 || d3 > 9.5 {
+		t.Errorf("3-D deconv-layer speedup %.2fx, want ~7.7x", d3)
+	}
+	if d3 <= d2 {
+		t.Error("3-D networks should gain more from the transformation")
+	}
+}
+
+func TestRunNonKeyIsFastAndCheap(t *testing.T) {
+	acc := Default()
+	nk := acc.RunNonKey(nonKeyQHD())
+	if nk.Seconds <= 0 || nk.Seconds > 0.01 {
+		t.Fatalf("non-key latency %.3fms outside (0, 10ms]", nk.Seconds*1e3)
+	}
+	key := acc.RunNetwork(nn.DispNet(nn.QHDH, nn.QHDW), PolicyBaseline)
+	if nk.EnergyJ*20 > key.EnergyJ {
+		t.Fatalf("non-key energy %.3gJ not ≪ key-frame energy %.3gJ", nk.EnergyJ, key.EnergyJ)
+	}
+}
+
+func TestRunISMPWOneIsPureDNN(t *testing.T) {
+	acc := Default()
+	n := nn.DispNet(135, 240)
+	a := acc.RunNetwork(n, PolicyBaseline)
+	b := acc.RunISM(n, PolicyBaseline, 1, nonKeyQHD())
+	if a.Cycles != b.Cycles || a.EnergyJ != b.EnergyJ {
+		t.Fatal("PW-1 should equal pure DNN execution")
+	}
+}
+
+func TestRunISMLargerWindowIsFaster(t *testing.T) {
+	acc := Default()
+	n := nn.DispNet(135, 240)
+	nk := nonKeyQHD()
+	pw2 := acc.RunISM(n, PolicyBaseline, 2, nk)
+	pw4 := acc.RunISM(n, PolicyBaseline, 4, nk)
+	if pw4.Seconds >= pw2.Seconds {
+		t.Fatal("PW-4 should amortize the key frame better than PW-2")
+	}
+}
+
+func TestRunISMInvalidPWPanics(t *testing.T) {
+	acc := Default()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	acc.RunISM(nn.DispNet(135, 240), PolicyBaseline, 0, NonKeyCost{})
+}
+
+func TestCustomConfigPropagates(t *testing.T) {
+	cfg := hw.Default()
+	cfg.PEsX, cfg.PEsY = 8, 8
+	small := New(cfg, hw.DefaultEnergy())
+	big := Default()
+	n := nn.DispNet(135, 240)
+	if small.RunNetwork(n, PolicyBaseline).Cycles <= big.RunNetwork(n, PolicyBaseline).Cycles {
+		t.Fatal("an 8x8 array should be slower than 24x24")
+	}
+}
+
+func TestReportFPSZeroSafe(t *testing.T) {
+	var r Report
+	if r.FPS() != 0 {
+		t.Fatal("FPS of empty report should be 0")
+	}
+}
+
+func TestEnergyBreakdownSumsToTotal(t *testing.T) {
+	acc := Default()
+	rep := acc.RunNetwork(nn.DispNet(135, 240), PolicyILAR)
+	if d := rep.Energy.Total() - rep.EnergyJ; d > 1e-12 || d < -1e-12 {
+		t.Fatalf("breakdown total %.6g != EnergyJ %.6g", rep.Energy.Total(), rep.EnergyJ)
+	}
+	for name, v := range map[string]float64{
+		"compute": rep.Energy.ComputeJ, "sram": rep.Energy.SRAMJ,
+		"dram": rep.Energy.DRAMJ, "leak": rep.Energy.LeakJ,
+	} {
+		if v <= 0 {
+			t.Errorf("%s energy component is zero", name)
+		}
+	}
+}
+
+func TestILARSavesDRAMEnergySpecifically(t *testing.T) {
+	// The mechanism behind Fig. 11's energy claim: ILAR's saving over ConvR
+	// comes from the DRAM component (shared ifmap tiles), not from compute.
+	acc := Default()
+	n := nn.GCNet(nn.QHDH, nn.QHDW) // 3-D net: the strongest ILAR case
+	convr := acc.RunNetwork(n, PolicyConvR)
+	ilar := acc.RunNetwork(n, PolicyILAR)
+	if ilar.Energy.DRAMJ >= convr.Energy.DRAMJ {
+		t.Fatalf("ILAR DRAM energy %.4g should be below ConvR's %.4g",
+			ilar.Energy.DRAMJ, convr.Energy.DRAMJ)
+	}
+	// Compute energy is essentially unchanged (same MACs).
+	ratio := ilar.Energy.ComputeJ / convr.Energy.ComputeJ
+	if ratio < 0.95 || ratio > 1.05 {
+		t.Fatalf("compute energy should be policy-invariant, ratio %.3f", ratio)
+	}
+}
+
+func TestNonKeyEnergyBreakdown(t *testing.T) {
+	rep := Default().RunNonKey(nonKeyQHD())
+	if d := rep.Energy.Total() - rep.EnergyJ; d > 1e-15 || d < -1e-15 {
+		t.Fatal("non-key breakdown does not sum to total")
+	}
+}

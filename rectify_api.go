@@ -1,0 +1,55 @@
+package asv
+
+import (
+	"asv/internal/rectify"
+	"asv/internal/stereo"
+)
+
+// Stereo rectification (the geometric preprocessing Equ. 2 assumes) and
+// disparity-map post-processing.
+
+// Mat3 is a row-major 3×3 matrix used for rotations and homographies.
+type Mat3 = rectify.Mat3
+
+// Intrinsics is a pinhole camera's focal lengths and principal point.
+type Intrinsics = rectify.Intrinsics
+
+// DefaultIntrinsics centers the principal point with a ~53° FoV.
+func DefaultIntrinsics(w, h int) Intrinsics { return rectify.DefaultIntrinsics(w, h) }
+
+// Rotation builds a rotation matrix from roll/pitch/yaw (radians).
+func Rotation(roll, pitch, yaw float64) Mat3 { return rectify.Rotation(roll, pitch, yaw) }
+
+// RectifyImage corrects a camera image rotated by r relative to the
+// rectified frame.
+func RectifyImage(captured *Image, in Intrinsics, r Mat3) *Image {
+	return rectify.Rectify(captured, in, r)
+}
+
+// RectifyPair corrects both views of a stereo pair.
+func RectifyPair(left, right *Image, in Intrinsics, rl, rr Mat3) (*Image, *Image) {
+	return rectify.RectifyPair(left, right, in, rl, rr)
+}
+
+// MisalignImage simulates the view of a camera rotated by r — useful for
+// testing rectification pipelines against known misalignment.
+func MisalignImage(rectified *Image, in Intrinsics, r Mat3) *Image {
+	return rectify.Misalign(rectified, in, r)
+}
+
+// MedianFilterDisparity applies a validity-aware (2r+1)² median.
+func MedianFilterDisparity(d *Image, r int) *Image { return stereo.MedianFilter(d, r) }
+
+// SpeckleFilterDisparity invalidates connected disparity regions smaller
+// than minRegion pixels.
+func SpeckleFilterDisparity(d *Image, maxDiff float32, minRegion int) *Image {
+	return stereo.SpeckleFilter(d, maxDiff, minRegion)
+}
+
+// FillInvalidDisparity densifies a map by background extension.
+func FillInvalidDisparity(d *Image) *Image { return stereo.FillInvalid(d) }
+
+// LeftRightCheck invalidates disparities failing the consistency test.
+func LeftRightCheck(dispL, dispR *Image, tol float64) *Image {
+	return stereo.LeftRightCheck(dispL, dispR, tol)
+}

@@ -1,0 +1,181 @@
+package asv
+
+import (
+	"asv/internal/dataset"
+	"asv/internal/deconv"
+	"asv/internal/eyeriss"
+	"asv/internal/gannx"
+	"asv/internal/gpu"
+	"asv/internal/hw"
+	"asv/internal/nn"
+	"asv/internal/systolic"
+	"asv/internal/tensor"
+)
+
+// Hardware modeling and accelerator simulation.
+
+// HWConfig is an accelerator resource budget (PE array, buffer, bandwidth).
+type HWConfig = hw.Config
+
+// EnergyModel holds the per-event energy constants.
+type EnergyModel = hw.Energy
+
+// DefaultHW returns the paper's evaluation accelerator resources
+// (24×24 PEs @ 1 GHz, 1.5 MB SRAM, 4×LPDDR3-1600).
+func DefaultHW() HWConfig { return hw.Default() }
+
+// DefaultEnergyModel returns the 16 nm energy calibration.
+func DefaultEnergyModel() EnergyModel { return hw.DefaultEnergy() }
+
+// Accelerator is the ASV systolic-array model.
+type Accelerator = systolic.Accelerator
+
+// Policy selects the scheduling/optimization level.
+type Policy = systolic.Policy
+
+// Scheduling policies, in increasing order of ASV optimization.
+const (
+	PolicyBaseline = systolic.PolicyBaseline // naive deconv + static partition
+	PolicyDCT      = systolic.PolicyDCT      // + deconv transformation
+	PolicyConvR    = systolic.PolicyConvR    // + per-layer reuse optimizer
+	PolicyILAR     = systolic.PolicyILAR     // + inter-layer activation reuse
+)
+
+// Report is a simulated execution cost breakdown.
+type Report = systolic.Report
+
+// NonKeyCost is the per-frame demand of ISM's non-key work.
+type NonKeyCost = systolic.NonKeyCost
+
+// NewAccelerator returns an accelerator model with the given resources.
+func NewAccelerator(cfg HWConfig, en EnergyModel) *Accelerator {
+	return systolic.New(cfg, en)
+}
+
+// DefaultAccelerator returns the paper's evaluation accelerator.
+func DefaultAccelerator() *Accelerator { return systolic.Default() }
+
+// HWOverhead reports the area/power cost of the ISM hardware extensions
+// (paper Sec. 7.1).
+type HWOverhead = hw.Overhead
+
+// ComputeHWOverhead evaluates the extension overheads for an nPEs array.
+func ComputeHWOverhead(nPEs int) HWOverhead { return hw.ComputeOverhead(nPEs) }
+
+// Networks.
+
+// Network is the layer-level IR of a DNN.
+type Network = nn.Network
+
+// Layer is one (de)convolution in the IR.
+type Layer = nn.Layer
+
+// StereoDNNs returns the four stereo networks of the evaluation (FlowNetC,
+// DispNet, GC-Net, PSMNet) at the given input resolution.
+func StereoDNNs(h, w int) []*Network { return nn.StereoZoo(h, w) }
+
+// GANs returns the six generators of the Sec. 7.6 comparison.
+func GANs() []*Network { return nn.GANZoo() }
+
+// QHD is the paper's evaluation resolution (960×540).
+const (
+	QHDW = nn.QHDW
+	QHDH = nn.QHDH
+)
+
+// Deconvolution transformation.
+
+// Tensor is a dense float32 tensor (NCHW / NCDHW layouts).
+type Tensor = tensor.Tensor
+
+// NewTensor returns a zero tensor of the given shape.
+func NewTensor(shape ...int) *Tensor { return tensor.New(shape...) }
+
+// Deconv2D is the reference (sparse) stride-s deconvolution of in [C,H,W]
+// with w [F,C,KH,KW] and upsampled-border padding pad.
+func Deconv2D(in, w *Tensor, stride, pad int) *Tensor {
+	return tensor.Deconv2D(in, w, stride, pad)
+}
+
+// TransformedDeconv2D executes the same stride-2 deconvolution by ASV's
+// dense sub-convolution decomposition; the result is identical to Deconv2D
+// with stride 2.
+func TransformedDeconv2D(in, w *Tensor, pad int) *Tensor {
+	return deconv.Transformed2D(in, w, pad)
+}
+
+// DecomposeKernel2D splits a deconvolution kernel [F,C,KH,KW] into the four
+// sub-kernels of the transformation (nil where a sub-kernel is empty).
+func DecomposeKernel2D(w *Tensor) [4]*Tensor { return deconv.Decompose2D(w) }
+
+// EffectiveMACs returns a layer's MAC count after the transformation (only
+// real-data multiplications remain).
+func EffectiveMACs(l Layer) int64 { return deconv.EffectiveMACs(l) }
+
+// Comparison models.
+
+// EyerissModel is the row-stationary spatial-array comparison point.
+type EyerissModel = eyeriss.Model
+
+// DefaultEyeriss returns the Fig. 13 Eyeriss configuration (same PEs,
+// buffer and bandwidth as the ASV accelerator).
+func DefaultEyeriss() *EyerissModel { return eyeriss.Default() }
+
+// GPUModel is the mobile-GPU roofline comparison point.
+type GPUModel = gpu.Model
+
+// JetsonTX2 returns the paper's GPU baseline.
+func JetsonTX2() *GPUModel { return gpu.TX2() }
+
+// GANNXModel is the dedicated deconvolution accelerator of Fig. 14.
+type GANNXModel = gannx.Model
+
+// DefaultGANNX returns the Fig. 14 GANNX configuration.
+func DefaultGANNX() *GANNXModel { return gannx.Default() }
+
+// Datasets.
+
+// SceneConfig parameterizes the procedural stereo-video generator.
+type SceneConfig = dataset.SceneConfig
+
+// StereoSequence is a generated stereo video with ground truth.
+type StereoSequence = dataset.Sequence
+
+// StereoFrame is one stereo pair plus its ground-truth disparity.
+type StereoFrame = dataset.FramePair
+
+// GenerateSequence renders a stereo video from the configuration.
+func GenerateSequence(cfg SceneConfig) *StereoSequence { return dataset.Generate(cfg) }
+
+// SceneFlowLike returns the 26-sequence SceneFlow-style benchmark configs.
+func SceneFlowLike(w, h, frames int, seed int64) []SceneConfig {
+	return dataset.SceneFlowLike(w, h, frames, seed)
+}
+
+// KITTILike returns the 200-pair KITTI-style benchmark configs.
+func KITTILike(w, h, pairs int, seed int64) []SceneConfig {
+	return dataset.KITTILike(w, h, pairs, seed)
+}
+
+// Functional hardware simulation and fixed-point arithmetic.
+
+// SystolicGrid is the cycle-stepped weight-stationary PE array simulator;
+// it executes convolutions functionally (bit-equivalent to the reference
+// operators) while counting cycles and MACs.
+type SystolicGrid = systolic.Grid
+
+// NewSystolicGrid returns an idle rows×cols array.
+func NewSystolicGrid(rows, cols int) *SystolicGrid { return systolic.NewGrid(rows, cols) }
+
+// FixedTensor is a 16-bit fixed-point tensor, the PE datapath format.
+type FixedTensor = tensor.Fixed
+
+// Quantize converts a tensor to 16-bit fixed point with the given
+// fractional bits (saturating).
+func Quantize(t *Tensor, fracBits uint) *FixedTensor { return tensor.Quantize(t, fracBits) }
+
+// FixedConv2D convolves in 16-bit fixed point with wide accumulation, as
+// the PE array does, returning the dequantized result.
+func FixedConv2D(in, w *FixedTensor, stride, pad int) *Tensor {
+	return tensor.FixedConv2D(in, w, stride, pad)
+}
