@@ -1,0 +1,33 @@
+# Developer entry points. `make check` mirrors what CI runs.
+
+RACE_PKGS := ./internal/core ./internal/flow ./internal/pipeline ./internal/par ./internal/stereo ./internal/imgproc ./internal/metrics
+
+.PHONY: build test race bench bench-json fmt fmt-check vet check
+
+build:
+	go build ./...
+
+test:
+	go test -short ./...
+
+race:
+	go test -race $(RACE_PKGS)
+
+bench:
+	go test -run '^$$' -bench . -benchtime 1x ./...
+
+# Regenerate BENCH_pipeline.json (serial vs streaming-runtime throughput).
+bench-json:
+	go run ./cmd/asvbench -exp pipeline -json BENCH_pipeline.json
+
+fmt:
+	gofmt -w .
+
+fmt-check:
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt needed on:"; echo "$$out"; exit 1; fi
+
+vet:
+	go vet ./...
+
+check: build vet fmt-check test race bench

@@ -14,9 +14,11 @@ package main
 
 import (
 	"encoding/csv"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"text/tabwriter"
 
@@ -24,9 +26,10 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,sec71,sec33,all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,sec71,sec33,pipeline,all)")
 	scale := flag.String("scale", "quick", "dataset scale for accuracy experiments (quick|full)")
 	list := flag.Bool("list", false, "list available experiments and exit")
+	flag.StringVar(&jsonPath, "json", "", "with -exp pipeline: also write the measurements to this JSON file")
 	flag.StringVar(&format, "format", "table", "output format (table|csv)")
 	flag.Parse()
 	if format != "table" && format != "csv" {
@@ -38,6 +41,7 @@ func main() {
 		for _, l := range asv.ExperimentIndex() {
 			fmt.Println(l)
 		}
+		fmt.Println("pipeline   serial vs concurrent streaming-runtime throughput (-json writes BENCH_pipeline.json)")
 		return
 	}
 
@@ -68,6 +72,7 @@ func main() {
 		"ablation-param": ablationParam,
 		"ablation-key":   ablationKey,
 		"ablation-order": ablationOrder,
+		"pipeline":       func(asv.ExpScale) { pipelineBench() },
 	}
 	order := []string{"fig1", "fig3", "fig4", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "sec71", "sec33",
@@ -89,6 +94,9 @@ func main() {
 
 // format selects the output renderer ("table" or "csv").
 var format = "table"
+
+// jsonPath, when non-empty, is where -exp pipeline writes its JSON record.
+var jsonPath = ""
 
 func table(title string, header []string, rows [][]string) {
 	if format == "csv" {
@@ -277,4 +285,51 @@ func ablationOrder(asv.ExpScale) {
 	}
 	table("Ablation: reuse order (Equ. 7 beta), transformed nets, ILAR",
 		[]string{"network", "auto-ms", "ifmap-stationary-ms", "weight-stationary-ms"}, rows)
+}
+
+// pipelineBenchDoc is the top-level record of BENCH_pipeline.json. CPUs is
+// the usable-CPU count at measurement time: wall-clock speedup is bounded by
+// it, so a single-core container records ~1.0x even though the pipeline
+// overlaps stages (see README "Streaming pipeline & metrics").
+type pipelineBenchDoc struct {
+	CPUsAvailable int                      `json:"cpus_available"`
+	GoMaxProcs    int                      `json:"gomaxprocs_default"`
+	Points        []asv.PipelineBenchPoint `json:"points"`
+}
+
+func pipelineBench() {
+	maxCores := runtime.GOMAXPROCS(0)
+	cores := []int{2, maxCores}
+	if maxCores <= 2 {
+		cores = []int{maxCores}
+	}
+	points := asv.MeasurePipelineThroughput(cores, 12, 160, 96)
+
+	var rows [][]string
+	for _, p := range points {
+		rows = append(rows, []string{p.Mode, fmt.Sprintf("%d", p.Cores),
+			fmt.Sprintf("%dx%d", p.W, p.H), fmt.Sprintf("%d", p.PW),
+			fmt.Sprintf("%.2f", p.FPS), fmt.Sprintf("%.2f", p.SpeedupX)})
+	}
+	table(fmt.Sprintf("Streaming pipeline throughput (%d usable CPUs)", runtime.NumCPU()),
+		[]string{"mode", "cores", "size", "PW", "fps", "speedup-x"}, rows)
+
+	if jsonPath == "" {
+		return
+	}
+	doc := pipelineBenchDoc{
+		CPUsAvailable: runtime.NumCPU(),
+		GoMaxProcs:    maxCores,
+		Points:        points,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
 }

@@ -6,22 +6,40 @@
 // Usage:
 //
 //	asvdepth -pw 4 -frames 12 -w 192 -h 120
+//	asvdepth -stream -metrics     # concurrent runtime + per-stage metrics
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
+	"os"
 
 	"asv"
 )
 
 func main() {
-	pw := flag.Int("pw", 4, "propagation window (1 = key matcher every frame)")
-	frames := flag.Int("frames", 12, "number of stereo frames to stream")
-	width := flag.Int("w", 192, "frame width")
-	height := flag.Int("h", 120, "frame height")
-	seed := flag.Int64("seed", 7, "scene seed")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asvdepth:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command with the given arguments, writing the report to
+// out. Split from main so the cmd is testable end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asvdepth", flag.ContinueOnError)
+	fs.SetOutput(out)
+	pw := fs.Int("pw", 4, "propagation window (1 = key matcher every frame)")
+	frames := fs.Int("frames", 12, "number of stereo frames to stream")
+	width := fs.Int("w", 192, "frame width")
+	height := fs.Int("h", 120, "frame height")
+	seed := fs.Int64("seed", 7, "scene seed")
+	stream := fs.Bool("stream", false, "use the concurrent streaming runtime (bit-identical to serial)")
+	showMetrics := fs.Bool("metrics", false, "print per-stage latency metrics after the run")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	seq := asv.GenerateSequence(asv.SceneConfig{
 		W: *width, H: *height, FrameCount: *frames,
@@ -34,28 +52,57 @@ func main() {
 	sgmOpt.MaxDisp = 28
 	cfg := asv.DefaultPipelineConfig()
 	cfg.PW = *pw
-	pipe := asv.NewPipeline(asv.SGMKeyMatcher{Opt: sgmOpt}, cfg)
+	matcher := asv.SGMKeyMatcher{Opt: sgmOpt}
 
-	fmt.Printf("ISM over %d frames at %dx%d, PW-%d, key matcher: SGM\n\n",
-		*frames, *width, *height, *pw)
-	fmt.Println("frame  kind     error-%   MOps")
+	mode := "serial"
+	if *stream {
+		mode = "streaming"
+	}
+	fmt.Fprintf(out, "ISM over %d frames at %dx%d, PW-%d, key matcher: SGM (%s)\n\n",
+		*frames, *width, *height, *pw, mode)
+	fmt.Fprintln(out, "frame  kind     error-%   MOps")
+
+	var reg *asv.Metrics
+	if *showMetrics {
+		reg = asv.NewMetrics()
+	}
+
+	var results []asv.FrameResult
+	if *stream {
+		in := make([]asv.StreamFrame, len(seq.Frames))
+		for i, fr := range seq.Frames {
+			in[i] = asv.StreamFrame{Left: fr.Left, Right: fr.Right}
+		}
+		for _, r := range asv.StreamDepthFrames(matcher, cfg, in, asv.StreamOptions{Metrics: reg}) {
+			results = append(results, r.Result)
+		}
+	} else {
+		pipe := asv.NewPipeline(matcher, cfg)
+		for _, fr := range seq.Frames {
+			res := pipe.Process(fr.Left, fr.Right)
+			results = append(results, res)
+		}
+	}
 
 	var totalMACs, keyMACs int64
 	var errSum float64
-	for i, fr := range seq.Frames {
-		res := pipe.Process(fr.Left, fr.Right)
+	for i, res := range results {
 		kind := "non-key"
 		if res.IsKey {
 			kind = "KEY"
 		}
-		e := asv.ThreePixelError(res.Disparity, fr.GT)
+		e := asv.ThreePixelError(res.Disparity, seq.Frames[i].GT)
 		errSum += e
 		totalMACs += res.MACs
-		keyMACs += asv.SGMKeyMatcher{Opt: sgmOpt}.MACs(*width, *height)
-		fmt.Printf("%5d  %-7s  %6.2f  %6.0f\n", i, kind, e, float64(res.MACs)/1e6)
+		keyMACs += matcher.MACs(*width, *height)
+		fmt.Fprintf(out, "%5d  %-7s  %6.2f  %6.0f\n", i, kind, e, float64(res.MACs)/1e6)
 	}
 
-	fmt.Printf("\nmean three-pixel error: %.2f%%\n", errSum/float64(len(seq.Frames)))
-	fmt.Printf("arithmetic saving vs keying every frame: %.1fx\n",
+	fmt.Fprintf(out, "\nmean three-pixel error: %.2f%%\n", errSum/float64(len(results)))
+	fmt.Fprintf(out, "arithmetic saving vs keying every frame: %.1fx\n",
 		float64(keyMACs)/float64(totalMACs))
+	if reg != nil {
+		fmt.Fprintf(out, "\nper-stage metrics:\n%s", reg.Dump())
+	}
+	return nil
 }

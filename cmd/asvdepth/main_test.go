@@ -1,0 +1,63 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRunSerialSmoke(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-frames", "4", "-w", "64", "-h", "48", "-pw", "2"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"PW-2", "KEY", "non-key", "mean three-pixel error", "arithmetic saving"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunStreamingMatchesSerialOutput(t *testing.T) {
+	args := []string{"-frames", "5", "-w", "64", "-h", "48", "-pw", "2"}
+	var serial, streamed strings.Builder
+	if err := run(args, &serial); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(append([]string{"-stream"}, args...), &streamed); err != nil {
+		t.Fatal(err)
+	}
+	// Everything below the mode header must match bit for bit — the
+	// cmd-level view of the pipeline's golden guarantee.
+	tail := func(s string) string {
+		_, rest, _ := strings.Cut(s, "\n")
+		return rest
+	}
+	if tail(serial.String()) != tail(streamed.String()) {
+		t.Fatalf("streaming output differs from serial:\n--- serial\n%s\n--- streaming\n%s",
+			serial.String(), streamed.String())
+	}
+}
+
+func TestRunMetricsFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-frames", "4", "-w", "64", "-h", "48", "-stream", "-metrics"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"per-stage metrics:", "flow", "keymatch", "pool"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-frames", "notanumber"}, &b); err == nil {
+		t.Fatal("bad -frames value accepted")
+	}
+	if err := run([]string{"-nonsense"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
@@ -18,12 +19,25 @@ import (
 )
 
 func main() {
-	prevPath := flag.String("prev", "", "first frame (PGM)")
-	nextPath := flag.String("next", "", "second frame (PGM)")
-	out := flag.String("out", "flow", "output prefix (<out>_u.pfm, <out>_v.pfm)")
-	levels := flag.Int("levels", 3, "pyramid levels")
-	demo := flag.Bool("demo", false, "use a generated stereo-video frame pair")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asvflow:", err)
+		os.Exit(1)
+	}
+}
+
+// run executes the command with the given arguments, writing the report to
+// out. Split from main so the cmd is testable end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asvflow", flag.ContinueOnError)
+	fs.SetOutput(out)
+	prevPath := fs.String("prev", "", "first frame (PGM)")
+	nextPath := fs.String("next", "", "second frame (PGM)")
+	outPrefix := fs.String("out", "flow", "output prefix (<out>_u.pfm, <out>_v.pfm)")
+	levels := fs.Int("levels", 3, "pyramid levels")
+	demo := fs.Bool("demo", false, "use a generated stereo-video frame pair")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var prev, next *asv.Image
 	switch {
@@ -36,16 +50,16 @@ func main() {
 	case *prevPath != "" && *nextPath != "":
 		var err error
 		if prev, err = asv.LoadPGM(*prevPath); err != nil {
-			fatal(err)
+			return err
 		}
 		if next, err = asv.LoadPGM(*nextPath); err != nil {
-			fatal(err)
+			return err
 		}
 		if prev.W != next.W || prev.H != next.H {
-			fatal(fmt.Errorf("frame sizes differ: %dx%d vs %dx%d", prev.W, prev.H, next.W, next.H))
+			return fmt.Errorf("frame sizes differ: %dx%d vs %dx%d", prev.W, prev.H, next.W, next.H)
 		}
 	default:
-		fatal(fmt.Errorf("need -prev and -next (or -demo)"))
+		return fmt.Errorf("need -prev and -next (or -demo)")
 	}
 
 	opt := asv.DefaultFlowOptions()
@@ -61,19 +75,15 @@ func main() {
 		}
 	}
 	n := float64(len(field.U.Pix))
-	fmt.Printf("%dx%d flow: mean |v| = %.3f px, max |v| = %.3f px\n",
+	fmt.Fprintf(out, "%dx%d flow: mean |v| = %.3f px, max |v| = %.3f px\n",
 		prev.W, prev.H, sum/n, mx)
 
-	if err := asv.SavePFM(*out+"_u.pfm", field.U); err != nil {
-		fatal(err)
+	if err := asv.SavePFM(*outPrefix+"_u.pfm", field.U); err != nil {
+		return err
 	}
-	if err := asv.SavePFM(*out+"_v.pfm", field.V); err != nil {
-		fatal(err)
+	if err := asv.SavePFM(*outPrefix+"_v.pfm", field.V); err != nil {
+		return err
 	}
-	fmt.Printf("wrote %s_u.pfm and %s_v.pfm\n", *out, *out)
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "asvflow:", err)
-	os.Exit(1)
+	fmt.Fprintf(out, "wrote %s_u.pfm and %s_v.pfm\n", *outPrefix, *outPrefix)
+	return nil
 }

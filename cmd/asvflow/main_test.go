@@ -1,0 +1,73 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asv"
+)
+
+func TestRunDemoWritesFlowFiles(t *testing.T) {
+	dir := t.TempDir()
+	prefix := filepath.Join(dir, "flow")
+	var b strings.Builder
+	if err := run([]string{"-demo", "-out", prefix}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "mean |v|") {
+		t.Fatalf("missing summary line:\n%s", b.String())
+	}
+	for _, suffix := range []string{"_u.pfm", "_v.pfm"} {
+		u, err := asv.LoadPFM(prefix + suffix)
+		if err != nil {
+			t.Fatalf("load %s: %v", suffix, err)
+		}
+		if u.W != 256 || u.H != 160 {
+			t.Fatalf("%s: got %dx%d, want 256x160", suffix, u.W, u.H)
+		}
+	}
+}
+
+func TestRunPGMPair(t *testing.T) {
+	dir := t.TempDir()
+	// Render a small moving pattern and save both frames as PGM.
+	seq := asv.GenerateSequence(asv.SceneConfig{
+		W: 96, H: 64, FrameCount: 2, Layers: 2,
+		MinDisp: 2, MaxDisp: 12, MaxVel: 1, Seed: 5,
+	})
+	prevPath := filepath.Join(dir, "a.pgm")
+	nextPath := filepath.Join(dir, "b.pgm")
+	if err := asv.SavePGM(prevPath, seq.Frames[0].Left); err != nil {
+		t.Fatal(err)
+	}
+	if err := asv.SavePGM(nextPath, seq.Frames[1].Left); err != nil {
+		t.Fatal(err)
+	}
+	prefix := filepath.Join(dir, "out")
+	var b strings.Builder
+	err := run([]string{"-prev", prevPath, "-next", nextPath, "-out", prefix, "-levels", "2"}, &b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "96x64 flow:") {
+		t.Fatalf("unexpected summary:\n%s", b.String())
+	}
+	if _, err := os.Stat(prefix + "_u.pfm"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	var b strings.Builder
+	if err := run(nil, &b); err == nil {
+		t.Fatal("no inputs accepted")
+	}
+	if err := run([]string{"-prev", "missing.pgm", "-next", "alsomissing.pgm"}, &b); err == nil {
+		t.Fatal("missing input files accepted")
+	}
+	if err := run([]string{"-levels", "x"}, &b); err == nil {
+		t.Fatal("bad -levels accepted")
+	}
+}

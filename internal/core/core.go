@@ -72,6 +72,13 @@ func (c Config) me() MotionEstimator {
 	return FarnebackME{Opt: c.Flow, Scale: c.FlowScale}
 }
 
+// MotionSource returns the motion estimator the pipeline will use: Config.ME
+// when set, the paper's Farneback estimator otherwise. The streaming runtime
+// calls it to precompute flows on worker goroutines, so implementations must
+// be safe for concurrent Estimate calls (all built-in estimators are
+// stateless values).
+func (c Config) MotionSource() MotionEstimator { return c.me() }
+
 // DefaultConfig returns the configuration used in the evaluation: PW-4,
 // half-resolution Farneback flow and a ±3 guided search with 5×5 blocks.
 func DefaultConfig() Config {
@@ -184,6 +191,21 @@ func (p *Pipeline) ProcessNonKey(left, right *imgproc.Image) Result {
 	return p.processNonKey(left, right)
 }
 
+// ProcessNonKeyWith consumes the next pair as a non-key frame using
+// externally computed motion fields: fl must be the configured estimator's
+// flow from the previous left frame to left, and fr likewise for the right
+// stream. The streaming runtime (internal/pipeline) uses this to overlap
+// frame t+1's flow estimation with frame t's refinement; the result is
+// bit-identical to Process because the same estimator ran on the same
+// inputs, just on another goroutine. It panics if no key frame has been
+// processed yet.
+func (p *Pipeline) ProcessNonKeyWith(left, right *imgproc.Image, fl, fr flow.Field) Result {
+	if p.prevDisp == nil {
+		panic("core: non-key frame before any key frame")
+	}
+	return p.propagateRefine(left, right, fl, fr)
+}
+
 func (p *Pipeline) commitKey(left, right, disp *imgproc.Image, macs int64) Result {
 	p.prevLeft, p.prevRight, p.prevDisp = left, right, disp
 	p.frameIdx++
@@ -197,18 +219,28 @@ func (p *Pipeline) processNonKey(left, right *imgproc.Image) Result {
 	me := p.cfg.me()
 	fl := me.Estimate(p.prevLeft, left)
 	fr := me.Estimate(p.prevRight, right)
+	return p.propagateRefine(left, right, fl, fr)
+}
 
+// propagateRefine runs ISM steps 2–4 on a non-key frame given the two
+// motion fields, and commits the frame. It takes ownership of fl and fr.
+func (p *Pipeline) propagateRefine(left, right *imgproc.Image, fl, fr flow.Field) Result {
 	// Steps 2+3: reconstruct pairs from the previous disparity map and move
 	// both endpoints by their motion vectors.
 	prop := propagate(p.prevDisp, fl, fr)
 
 	// Step 4: refine with the guided 1-D correspondence search.
 	disp := stereo.Refine(left, right, prop, p.cfg.RefineR, p.cfg.BM)
+	imgproc.PutImage(prop)
 	if p.cfg.Postprocess {
-		disp = stereo.MedianFilter(disp, 1)
+		med := stereo.MedianFilter(disp, 1)
+		imgproc.PutImage(disp)
+		disp = med
 	}
 
 	motion := meanMotion(fl)
+	flow.PutField(fl)
+	flow.PutField(fr)
 	if a := p.cfg.Adaptive; a != nil && motion > a.MotionThresholdPx {
 		p.needKey = true
 	}
@@ -243,7 +275,7 @@ func meanMotion(f flow.Field) float64 {
 // disocclusion are filled from valid neighbours.
 func propagate(prevDisp *imgproc.Image, fl, fr flow.Field) *imgproc.Image {
 	w, h := prevDisp.W, prevDisp.H
-	out := imgproc.NewImage(w, h)
+	out := imgproc.GetImage(w, h)
 	for i := range out.Pix {
 		out.Pix[i] = -1
 	}

@@ -12,7 +12,9 @@ import (
 // no motion at all — can be ablated. The pipeline uses FarnebackME by
 // default.
 type MotionEstimator interface {
-	// Estimate returns the dense per-pixel motion from prev to next.
+	// Estimate returns the dense per-pixel motion from prev to next. The
+	// returned field must be freshly allocated: the pipeline takes ownership
+	// and recycles its buffers once the frame is committed.
 	Estimate(prev, next *imgproc.Image) flow.Field
 	// MACs is the arithmetic cost of one Estimate call on a w×h frame.
 	MACs(w, h int) int64
@@ -37,8 +39,11 @@ func (m FarnebackME) Estimate(prev, next *imgproc.Image) flow.Field {
 	ps := imgproc.Upsample2(prev, sw, sh)
 	ns := imgproc.Upsample2(next, sw, sh)
 	f := flow.Farneback(ps, ns, m.Opt)
+	imgproc.PutImage(ps)
+	imgproc.PutImage(ns)
 	u := imgproc.Upsample2(f.U, prev.W, prev.H)
 	v := imgproc.Upsample2(f.V, prev.W, prev.H)
+	flow.PutField(f)
 	scale := float32(s)
 	for i := range u.Pix {
 		u.Pix[i] *= scale

@@ -17,6 +17,7 @@ import (
 	"math"
 
 	"asv/internal/imgproc"
+	"asv/internal/par"
 )
 
 // Field is a dense motion field: U and V hold the horizontal and vertical
@@ -25,14 +26,22 @@ type Field struct {
 	U, V *imgproc.Image
 }
 
-// NewField returns a zero (no-motion) field of the given size.
+// NewField returns a zero (no-motion) field of the given size. The buffers
+// come from the image pool, so fields released with PutField recycle.
 func NewField(w, h int) Field {
-	return Field{U: imgproc.NewImage(w, h), V: imgproc.NewImage(w, h)}
+	return Field{U: imgproc.GetImage(w, h), V: imgproc.GetImage(w, h)}
 }
 
 // Clone returns a deep copy of the field.
 func (f Field) Clone() Field {
 	return Field{U: f.U.Clone(), V: f.V.Clone()}
+}
+
+// PutField returns a field's buffers to the image pool. The caller must not
+// use f afterwards.
+func PutField(f Field) {
+	imgproc.PutImage(f.U)
+	imgproc.PutImage(f.V)
 }
 
 // Options configures the Farneback estimator.
@@ -120,32 +129,49 @@ func polyExpand(im *imgproc.Image, r int, sigma float64) polyCoeffs {
 	m11 := imgproc.SeparableFilter(im, k1, k1)
 
 	p := polyCoeffs{
-		bx:  imgproc.NewImage(im.W, im.H),
-		by:  imgproc.NewImage(im.W, im.H),
-		axx: imgproc.NewImage(im.W, im.H),
-		ayy: imgproc.NewImage(im.W, im.H),
-		axy: imgproc.NewImage(im.W, im.H),
+		bx:  imgproc.GetImage(im.W, im.H),
+		by:  imgproc.GetImage(im.W, im.H),
+		axx: imgproc.GetImage(im.W, im.H),
+		ayy: imgproc.GetImage(im.W, im.H),
+		axy: imgproc.GetImage(im.W, im.H),
 	}
-	for i := range m00.Pix {
-		m := [6]float64{
-			float64(m00.Pix[i]), float64(m10.Pix[i]), float64(m01.Pix[i]),
-			float64(m20.Pix[i]), float64(m02.Pix[i]), float64(m11.Pix[i]),
-		}
-		var rcoef [6]float64
-		for row := 0; row < 6; row++ {
-			var acc float64
-			for col := 0; col < 6; col++ {
-				acc += ginv[row][col] * m[col]
+	par.ForChunked(len(m00.Pix), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			m := [6]float64{
+				float64(m00.Pix[i]), float64(m10.Pix[i]), float64(m01.Pix[i]),
+				float64(m20.Pix[i]), float64(m02.Pix[i]), float64(m11.Pix[i]),
 			}
-			rcoef[row] = acc
+			var rcoef [6]float64
+			for row := 0; row < 6; row++ {
+				var acc float64
+				for col := 0; col < 6; col++ {
+					acc += ginv[row][col] * m[col]
+				}
+				rcoef[row] = acc
+			}
+			p.bx.Pix[i] = float32(rcoef[1])
+			p.by.Pix[i] = float32(rcoef[2])
+			p.axx.Pix[i] = float32(rcoef[3])
+			p.ayy.Pix[i] = float32(rcoef[4])
+			p.axy.Pix[i] = float32(rcoef[5])
 		}
-		p.bx.Pix[i] = float32(rcoef[1])
-		p.by.Pix[i] = float32(rcoef[2])
-		p.axx.Pix[i] = float32(rcoef[3])
-		p.ayy.Pix[i] = float32(rcoef[4])
-		p.axy.Pix[i] = float32(rcoef[5])
-	}
+	})
+	imgproc.PutImage(m00)
+	imgproc.PutImage(m10)
+	imgproc.PutImage(m01)
+	imgproc.PutImage(m20)
+	imgproc.PutImage(m02)
+	imgproc.PutImage(m11)
 	return p
+}
+
+// put returns the coefficient buffers to the image pool.
+func (p polyCoeffs) put() {
+	imgproc.PutImage(p.bx)
+	imgproc.PutImage(p.by)
+	imgproc.PutImage(p.axx)
+	imgproc.PutImage(p.ayy)
+	imgproc.PutImage(p.axy)
 }
 
 // invert6 inverts a 6×6 matrix by Gauss-Jordan elimination with partial
@@ -231,12 +257,22 @@ func Farneback(prev, next *imgproc.Image, opt Options) Field {
 				u.Pix[i] *= 2
 				v.Pix[i] *= 2
 			}
+			PutField(fld)
 			fld = Field{U: u, V: v}
 		}
 		c1 := polyExpand(im1, opt.PolyR, opt.PolySigma)
 		c2 := polyExpand(im2, opt.PolyR, opt.PolySigma)
 		for it := 0; it < opt.Iters; it++ {
-			fld = flowIteration(c1, c2, fld, opt.WinSigma)
+			next := flowIteration(c1, c2, fld, opt.WinSigma)
+			PutField(fld)
+			fld = next
+		}
+		c1.put()
+		c2.put()
+		if l > 0 {
+			// Pyramid levels above the base are scratch built by this call.
+			imgproc.PutImage(p1[l])
+			imgproc.PutImage(p2[l])
 		}
 	}
 	return fld
@@ -250,58 +286,74 @@ func flowIteration(c1, c2 polyCoeffs, cur Field, winSigma float64) Field {
 	w, h := cur.U.W, cur.U.H
 	// Accumulator images for G = AᵀA (symmetric 2×2: g11,g12,g22) and
 	// hvec = AᵀΔb (h1,h2).
-	g11 := imgproc.NewImage(w, h)
-	g12 := imgproc.NewImage(w, h)
-	g22 := imgproc.NewImage(w, h)
-	h1 := imgproc.NewImage(w, h)
-	h2 := imgproc.NewImage(w, h)
+	g11 := imgproc.GetImage(w, h)
+	g12 := imgproc.GetImage(w, h)
+	g22 := imgproc.GetImage(w, h)
+	h1 := imgproc.GetImage(w, h)
+	h2 := imgproc.GetImage(w, h)
 
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			du := float64(cur.U.At(x, y))
-			dv := float64(cur.V.At(x, y))
-			// Look up frame-2 coefficients at the displaced position
-			// (rounded to the nearest pixel, clamped to the border).
-			x2 := int(math.Round(float64(x) + du))
-			y2 := int(math.Round(float64(y) + dv))
+	par.ForChunked(h, func(ylo, yhi int) {
+		for y := ylo; y < yhi; y++ {
+			for x := 0; x < w; x++ {
+				du := float64(cur.U.At(x, y))
+				dv := float64(cur.V.At(x, y))
+				// Look up frame-2 coefficients at the displaced position
+				// (rounded to the nearest pixel, clamped to the border).
+				x2 := int(math.Round(float64(x) + du))
+				y2 := int(math.Round(float64(y) + dv))
 
-			a11 := (float64(c1.axx.At(x, y)) + float64(c2.axx.At(x2, y2))) / 2
-			a22 := (float64(c1.ayy.At(x, y)) + float64(c2.ayy.At(x2, y2))) / 2
-			a12 := (float64(c1.axy.At(x, y)) + float64(c2.axy.At(x2, y2))) / 4 // A off-diag = axy/2, averaged
+				a11 := (float64(c1.axx.At(x, y)) + float64(c2.axx.At(x2, y2))) / 2
+				a22 := (float64(c1.ayy.At(x, y)) + float64(c2.ayy.At(x2, y2))) / 2
+				a12 := (float64(c1.axy.At(x, y)) + float64(c2.axy.At(x2, y2))) / 4 // A off-diag = axy/2, averaged
 
-			db1 := -0.5*(float64(c2.bx.At(x2, y2))-float64(c1.bx.At(x, y))) + a11*du + a12*dv
-			db2 := -0.5*(float64(c2.by.At(x2, y2))-float64(c1.by.At(x, y))) + a12*du + a22*dv
+				db1 := -0.5*(float64(c2.bx.At(x2, y2))-float64(c1.bx.At(x, y))) + a11*du + a12*dv
+				db2 := -0.5*(float64(c2.by.At(x2, y2))-float64(c1.by.At(x, y))) + a12*du + a22*dv
 
-			g11.Set(x, y, float32(a11*a11+a12*a12))
-			g12.Set(x, y, float32(a12*(a11+a22)))
-			g22.Set(x, y, float32(a22*a22+a12*a12))
-			h1.Set(x, y, float32(a11*db1+a12*db2))
-			h2.Set(x, y, float32(a12*db1+a22*db2))
+				i := y*w + x
+				g11.Pix[i] = float32(a11*a11 + a12*a12)
+				g12.Pix[i] = float32(a12 * (a11 + a22))
+				g22.Pix[i] = float32(a22*a22 + a12*a12)
+				h1.Pix[i] = float32(a11*db1 + a12*db2)
+				h2.Pix[i] = float32(a12*db1 + a22*db2)
+			}
 		}
-	}
+	})
 
-	// Aggregate the normal equations over the neighbourhood.
-	g11 = imgproc.GaussianBlur(g11, winSigma)
-	g12 = imgproc.GaussianBlur(g12, winSigma)
-	g22 = imgproc.GaussianBlur(g22, winSigma)
-	h1 = imgproc.GaussianBlur(h1, winSigma)
-	h2 = imgproc.GaussianBlur(h2, winSigma)
+	// Aggregate the normal equations over the neighbourhood, releasing the
+	// pre-blur accumulators as they are consumed.
+	blur := func(im *imgproc.Image) *imgproc.Image {
+		b := imgproc.GaussianBlur(im, winSigma)
+		imgproc.PutImage(im)
+		return b
+	}
+	g11 = blur(g11)
+	g12 = blur(g12)
+	g22 = blur(g22)
+	h1 = blur(h1)
+	h2 = blur(h2)
 
 	out := NewField(w, h)
-	for i := range g11.Pix {
-		a := float64(g11.Pix[i])
-		b := float64(g12.Pix[i])
-		c := float64(g22.Pix[i])
-		det := a*c - b*b
-		if math.Abs(det) < 1e-9 {
-			out.U.Pix[i] = cur.U.Pix[i]
-			out.V.Pix[i] = cur.V.Pix[i]
-			continue
+	par.ForChunked(len(g11.Pix), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a := float64(g11.Pix[i])
+			b := float64(g12.Pix[i])
+			c := float64(g22.Pix[i])
+			det := a*c - b*b
+			if math.Abs(det) < 1e-9 {
+				out.U.Pix[i] = cur.U.Pix[i]
+				out.V.Pix[i] = cur.V.Pix[i]
+				continue
+			}
+			hh1 := float64(h1.Pix[i])
+			hh2 := float64(h2.Pix[i])
+			out.U.Pix[i] = float32((c*hh1 - b*hh2) / det)
+			out.V.Pix[i] = float32((a*hh2 - b*hh1) / det)
 		}
-		hh1 := float64(h1.Pix[i])
-		hh2 := float64(h2.Pix[i])
-		out.U.Pix[i] = float32((c*hh1 - b*hh2) / det)
-		out.V.Pix[i] = float32((a*hh2 - b*hh1) / det)
-	}
+	})
+	imgproc.PutImage(g11)
+	imgproc.PutImage(g12)
+	imgproc.PutImage(g22)
+	imgproc.PutImage(h1)
+	imgproc.PutImage(h2)
 	return out
 }

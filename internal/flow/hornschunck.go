@@ -2,6 +2,7 @@ package flow
 
 import (
 	"asv/internal/imgproc"
+	"asv/internal/par"
 )
 
 // HornSchunck estimates dense optical flow with the classic variational
@@ -22,7 +23,10 @@ type HSOptions struct {
 // ~0.1 for [0,1] pixels).
 func DefaultHSOptions() HSOptions { return HSOptions{Alpha: 0.1, Iters: 200} }
 
-// HornSchunck computes the dense flow from prev to next.
+// HornSchunck computes the dense flow from prev to next. The Jacobi sweeps
+// are row-parallel (each sweep reads only the previous iterate, so rows are
+// independent) and ping-pong between two field buffers instead of
+// allocating per iteration.
 func HornSchunck(prev, next *imgproc.Image, opt HSOptions) Field {
 	if prev.W != next.W || prev.H != next.H {
 		panic("flow: frame sizes differ")
@@ -34,9 +38,9 @@ func HornSchunck(prev, next *imgproc.Image, opt HSOptions) Field {
 
 	// Spatiotemporal derivatives (averaged over the two frames, as in the
 	// original formulation).
-	ix := imgproc.NewImage(w, h)
-	iy := imgproc.NewImage(w, h)
-	it := imgproc.NewImage(w, h)
+	ix := imgproc.GetImage(w, h)
+	iy := imgproc.GetImage(w, h)
+	it := imgproc.GetImage(w, h)
 	gx1, gy1 := imgproc.GradX(prev), imgproc.GradY(prev)
 	gx2, gy2 := imgproc.GradX(next), imgproc.GradY(next)
 	for i := range ix.Pix {
@@ -44,8 +48,13 @@ func HornSchunck(prev, next *imgproc.Image, opt HSOptions) Field {
 		iy.Pix[i] = (gy1.Pix[i] + gy2.Pix[i]) / 2
 		it.Pix[i] = next.Pix[i] - prev.Pix[i]
 	}
+	imgproc.PutImage(gx1)
+	imgproc.PutImage(gy1)
+	imgproc.PutImage(gx2)
+	imgproc.PutImage(gy2)
 
-	f := NewField(w, h)
+	cur := NewField(w, h)
+	nxt := NewField(w, h)
 	alpha2 := float32(opt.Alpha * opt.Alpha)
 	avg := func(im *imgproc.Image, x, y int) float32 {
 		// Horn-Schunck's weighted neighbourhood average.
@@ -53,23 +62,27 @@ func HornSchunck(prev, next *imgproc.Image, opt HSOptions) Field {
 			(im.At(x-1, y-1)+im.At(x+1, y-1)+im.At(x-1, y+1)+im.At(x+1, y+1))/12
 	}
 	for iter := 0; iter < opt.Iters; iter++ {
-		nu := imgproc.NewImage(w, h)
-		nv := imgproc.NewImage(w, h)
-		for y := 0; y < h; y++ {
-			for x := 0; x < w; x++ {
-				ub := avg(f.U, x, y)
-				vb := avg(f.V, x, y)
-				i := y*w + x
-				gxv, gyv, gtv := ix.Pix[i], iy.Pix[i], it.Pix[i]
-				num := gxv*ub + gyv*vb + gtv
-				den := alpha2 + gxv*gxv + gyv*gyv
-				nu.Pix[i] = ub - gxv*num/den
-				nv.Pix[i] = vb - gyv*num/den
+		par.ForChunked(h, func(ylo, yhi int) {
+			for y := ylo; y < yhi; y++ {
+				for x := 0; x < w; x++ {
+					ub := avg(cur.U, x, y)
+					vb := avg(cur.V, x, y)
+					i := y*w + x
+					gxv, gyv, gtv := ix.Pix[i], iy.Pix[i], it.Pix[i]
+					num := gxv*ub + gyv*vb + gtv
+					den := alpha2 + gxv*gxv + gyv*gyv
+					nxt.U.Pix[i] = ub - gxv*num/den
+					nxt.V.Pix[i] = vb - gyv*num/den
+				}
 			}
-		}
-		f.U, f.V = nu, nv
+		})
+		cur, nxt = nxt, cur
 	}
-	return f
+	imgproc.PutImage(ix)
+	imgproc.PutImage(iy)
+	imgproc.PutImage(it)
+	PutField(nxt)
+	return cur
 }
 
 // HornSchunckMACs estimates the arithmetic cost: derivative construction

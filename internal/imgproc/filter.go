@@ -35,26 +35,31 @@ func SeparableFilter(im *Image, kx, ky []float32) *Image {
 		panic("imgproc: separable kernels must have odd length")
 	}
 	rx, ry := len(kx)/2, len(ky)/2
-	tmp := NewImage(im.W, im.H)
-	par.For(im.H, func(y int) {
-		for x := 0; x < im.W; x++ {
-			var acc float32
-			for i := -rx; i <= rx; i++ {
-				acc += kx[i+rx] * im.At(x+i, y)
+	tmp := GetImage(im.W, im.H)
+	par.ForChunked(im.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < im.W; x++ {
+				var acc float32
+				for i := -rx; i <= rx; i++ {
+					acc += kx[i+rx] * im.At(x+i, y)
+				}
+				tmp.Pix[y*im.W+x] = acc
 			}
-			tmp.Set(x, y, acc)
 		}
 	})
-	out := NewImage(im.W, im.H)
-	par.For(im.H, func(y int) {
-		for x := 0; x < im.W; x++ {
-			var acc float32
-			for i := -ry; i <= ry; i++ {
-				acc += ky[i+ry] * tmp.At(x, y+i)
+	out := GetImage(im.W, im.H)
+	par.ForChunked(im.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < im.W; x++ {
+				var acc float32
+				for i := -ry; i <= ry; i++ {
+					acc += ky[i+ry] * tmp.At(x, y+i)
+				}
+				out.Pix[y*im.W+x] = acc
 			}
-			out.Set(x, y, acc)
 		}
 	})
+	PutImage(tmp)
 	return out
 }
 
@@ -86,22 +91,26 @@ func BoxFilter(im *Image, r int) *Image {
 // GradX returns the horizontal central-difference derivative (f(x+1)-f(x-1))/2.
 func GradX(im *Image) *Image {
 	out := NewImage(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			out.Set(x, y, (im.At(x+1, y)-im.At(x-1, y))/2)
+	par.ForChunked(im.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Pix[y*im.W+x] = (im.At(x+1, y) - im.At(x-1, y)) / 2
+			}
 		}
-	}
+	})
 	return out
 }
 
 // GradY returns the vertical central-difference derivative (f(y+1)-f(y-1))/2.
 func GradY(im *Image) *Image {
 	out := NewImage(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			out.Set(x, y, (im.At(x, y+1)-im.At(x, y-1))/2)
+	par.ForChunked(im.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Pix[y*im.W+x] = (im.At(x, y+1) - im.At(x, y-1)) / 2
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -112,10 +121,12 @@ func Warp(im, u, v *Image) *Image {
 	mustSameSize(im, u, "Warp(u)")
 	mustSameSize(im, v, "Warp(v)")
 	out := NewImage(im.W, im.H)
-	for y := 0; y < im.H; y++ {
-		for x := 0; x < im.W; x++ {
-			out.Set(x, y, im.Bilinear(float32(x)+u.At(x, y), float32(y)+v.At(x, y)))
+	par.ForChunked(im.H, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < im.W; x++ {
+				out.Pix[y*im.W+x] = im.Bilinear(float32(x)+u.At(x, y), float32(y)+v.At(x, y))
+			}
 		}
-	}
+	})
 	return out
 }

@@ -7,6 +7,8 @@ package imgproc
 import (
 	"fmt"
 	"math"
+
+	"asv/internal/par"
 )
 
 // Image is a single-channel float32 raster stored row-major.
@@ -135,11 +137,13 @@ func Upsample2(im *Image, w, h int) *Image {
 	out := NewImage(w, h)
 	sx := float32(im.W) / float32(w)
 	sy := float32(im.H) / float32(h)
-	for y := 0; y < h; y++ {
-		for x := 0; x < w; x++ {
-			out.Set(x, y, im.Bilinear((float32(x)+0.5)*sx-0.5, (float32(y)+0.5)*sy-0.5))
+	par.ForChunked(h, func(lo, hi int) {
+		for y := lo; y < hi; y++ {
+			for x := 0; x < w; x++ {
+				out.Pix[y*w+x] = im.Bilinear((float32(x)+0.5)*sx-0.5, (float32(y)+0.5)*sy-0.5)
+			}
 		}
-	}
+	})
 	return out
 }
 
@@ -155,6 +159,7 @@ func Pyramid(im *Image, levels int, sigma float64) []*Image {
 	for l := 1; l < levels; l++ {
 		blurred := GaussianBlur(pyr[l-1], sigma)
 		pyr[l] = Downsample2(blurred)
+		PutImage(blurred)
 	}
 	return pyr
 }

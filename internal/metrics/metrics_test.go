@@ -1,0 +1,119 @@
+package metrics
+
+import (
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestStageObservations(t *testing.T) {
+	r := NewRegistry()
+	s := r.Stage("flow")
+	s.Observe(2 * time.Millisecond)
+	s.Observe(4 * time.Millisecond)
+	s.Observe(6 * time.Millisecond)
+
+	if got := s.Count(); got != 3 {
+		t.Fatalf("count = %d", got)
+	}
+	if got := s.Total(); got != 12*time.Millisecond {
+		t.Fatalf("total = %v", got)
+	}
+	if got := s.Mean(); got != 4*time.Millisecond {
+		t.Fatalf("mean = %v", got)
+	}
+	if got := s.Min(); got != 2*time.Millisecond {
+		t.Fatalf("min = %v", got)
+	}
+	if got := s.Max(); got != 6*time.Millisecond {
+		t.Fatalf("max = %v", got)
+	}
+}
+
+func TestStageIdentityAndOrder(t *testing.T) {
+	r := NewRegistry()
+	a := r.Stage("a")
+	if r.Stage("a") != a {
+		t.Fatal("Stage is not idempotent")
+	}
+	r.Stage("b")
+	names := r.StageNames()
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestQuantileBounds(t *testing.T) {
+	r := NewRegistry()
+	s := r.Stage("q")
+	for i := 0; i < 99; i++ {
+		s.Observe(time.Millisecond)
+	}
+	s.Observe(500 * time.Millisecond)
+	p50 := s.Quantile(0.50)
+	p99 := s.Quantile(0.99)
+	if p50 < time.Millisecond || p50 > 4*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~1ms bucket", p50)
+	}
+	if p99 < time.Millisecond || p99 > 4*time.Millisecond {
+		t.Fatalf("p99 = %v, want ~1ms bucket (99/100 are 1ms)", p99)
+	}
+	if got := s.Quantile(1.0); got < 256*time.Millisecond {
+		t.Fatalf("p100 = %v, should reach the 500ms outlier's bucket", got)
+	}
+}
+
+func TestConcurrentObserveIsConsistent(t *testing.T) {
+	r := NewRegistry()
+	s := r.Stage("par")
+	const goroutines, each = 8, 250
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < each; i++ {
+				s.Observe(time.Millisecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := s.Count(); got != goroutines*each {
+		t.Fatalf("count = %d, want %d", got, goroutines*each)
+	}
+	if got := s.Total(); got != goroutines*each*time.Millisecond {
+		t.Fatalf("total = %v", got)
+	}
+}
+
+func TestSnapshotMarshalsToJSON(t *testing.T) {
+	r := NewRegistry()
+	r.Time("work", func() { time.Sleep(time.Millisecond) })
+	raw, err := json.Marshal(r.Snapshot())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"uptime_ms", "stages", "work", "alloc", "pool_gets"} {
+		if !strings.Contains(string(raw), key) {
+			t.Fatalf("snapshot JSON missing %q: %s", key, raw)
+		}
+	}
+}
+
+func TestDumpListsStagesAndAlloc(t *testing.T) {
+	r := NewRegistry()
+	r.Stage("keymatch").Observe(3 * time.Millisecond)
+	r.Stage("flow").Observe(time.Millisecond)
+	out := r.Dump()
+	for _, want := range []string{"keymatch", "flow", "alloc:", "pool"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("dump missing %q:\n%s", want, out)
+		}
+	}
+	// keymatch was registered first, so it must render first.
+	if strings.Index(out, "keymatch") > strings.Index(out, "flow") {
+		t.Fatalf("stage order not preserved:\n%s", out)
+	}
+}

@@ -1,22 +1,49 @@
 // Package par provides deterministic data parallelism for the pixel
-// kernels: work is split by index range across GOMAXPROCS workers, so the
+// kernels: work is split by index range across a fixed worker count, so the
 // output is bit-identical to a serial run (each index writes only its own
 // results).
 package par
 
 import (
+	"os"
 	"runtime"
+	"strconv"
 	"sync"
 )
 
-// For runs fn(i) for every i in [0, n) across up to GOMAXPROCS goroutines.
+// Workers returns the worker count used by For and ForChunked: the value of
+// the ASV_WORKERS environment variable when it parses as a positive integer,
+// GOMAXPROCS otherwise. The override pins parallelism on shared CI runners
+// and lets benchmarks sweep scaling curves without touching GOMAXPROCS.
+func Workers() int {
+	if s := os.Getenv("ASV_WORKERS"); s != "" {
+		if n, err := strconv.Atoi(s); err == nil && n > 0 {
+			return n
+		}
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// For runs fn(i) for every i in [0, n) across up to Workers() goroutines.
 // fn must not touch state owned by other indices. For small n the call is
 // executed inline to avoid goroutine overhead.
 func For(n int, fn func(i int)) {
-	workers := runtime.GOMAXPROCS(0)
-	if n < 2 || workers < 2 {
-		for i := 0; i < n; i++ {
+	ForChunked(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
 			fn(i)
+		}
+	})
+}
+
+// ForChunked splits [0, n) into one contiguous range per worker and runs
+// fn(lo, hi) for each, so row-sliced kernels iterate a plain loop instead of
+// paying a closure dispatch per index. fn must not touch state owned by
+// other ranges. For small n (or one worker) the single range runs inline.
+func ForChunked(n int, fn func(lo, hi int)) {
+	workers := Workers()
+	if n < 2 || workers < 2 {
+		if n > 0 {
+			fn(0, n)
 		}
 		return
 	}
@@ -37,9 +64,7 @@ func For(n int, fn func(i int)) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
-			for i := lo; i < hi; i++ {
-				fn(i)
-			}
+			fn(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()

@@ -1,6 +1,8 @@
 package par
 
 import (
+	"runtime"
+	"sync"
 	"sync/atomic"
 	"testing"
 	"testing/quick"
@@ -38,5 +40,78 @@ func TestQuickForSum(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+func TestForChunkedCoversDisjointRanges(t *testing.T) {
+	for _, n := range []int{0, 1, 2, 5, 63, 64, 65, 999} {
+		counts := make([]int32, n)
+		ForChunked(n, func(lo, hi int) {
+			if lo < 0 || hi > n || lo >= hi {
+				t.Errorf("n=%d: bad range [%d,%d)", n, lo, hi)
+				return
+			}
+			for i := lo; i < hi; i++ {
+				atomic.AddInt32(&counts[i], 1)
+			}
+		})
+		for i, c := range counts {
+			if c != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, c)
+			}
+		}
+	}
+}
+
+func TestWorkersRespectsEnvOverride(t *testing.T) {
+	t.Setenv("ASV_WORKERS", "3")
+	if got := Workers(); got != 3 {
+		t.Fatalf("ASV_WORKERS=3: Workers() = %d", got)
+	}
+	t.Setenv("ASV_WORKERS", "1")
+	if got := Workers(); got != 1 {
+		t.Fatalf("ASV_WORKERS=1: Workers() = %d", got)
+	}
+	// Invalid or non-positive values fall back to GOMAXPROCS.
+	for _, bad := range []string{"0", "-2", "lots", ""} {
+		t.Setenv("ASV_WORKERS", bad)
+		if got, want := Workers(), runtime.GOMAXPROCS(0); got != want {
+			t.Fatalf("ASV_WORKERS=%q: Workers() = %d, want GOMAXPROCS %d", bad, got, want)
+		}
+	}
+}
+
+func TestWorkersLimitsConcurrency(t *testing.T) {
+	t.Setenv("ASV_WORKERS", "2")
+	var cur, peak int32
+	var mu sync.Mutex
+	ForChunked(64, func(lo, hi int) {
+		c := atomic.AddInt32(&cur, 1)
+		mu.Lock()
+		if c > peak {
+			peak = c
+		}
+		mu.Unlock()
+		for i := lo; i < hi; i++ {
+			_ = i * i
+		}
+		atomic.AddInt32(&cur, -1)
+	})
+	if peak > 2 {
+		t.Fatalf("ASV_WORKERS=2 but observed %d concurrent ranges", peak)
+	}
+}
+
+func TestForChunkedSerialWhenOneWorker(t *testing.T) {
+	t.Setenv("ASV_WORKERS", "1")
+	calls := 0
+	ForChunked(100, func(lo, hi int) {
+		calls++
+		if lo != 0 || hi != 100 {
+			t.Fatalf("serial path got range [%d,%d)", lo, hi)
+		}
+	})
+	if calls != 1 {
+		t.Fatalf("serial path called fn %d times", calls)
 	}
 }
