@@ -2,7 +2,18 @@
 
 RACE_PKGS := ./internal/core ./internal/flow ./internal/pipeline ./internal/par ./internal/stereo ./internal/imgproc ./internal/metrics
 
-.PHONY: build test race bench bench-json fmt fmt-check vet check
+# Fuzz targets exercised by fuzz-smoke, as package:Target pairs.
+FUZZ_TARGETS := \
+	./internal/imgproc:FuzzReadPGM \
+	./internal/imgproc:FuzzReadPFM \
+	./internal/imgproc:FuzzImagePool \
+	./internal/deconv:FuzzTransformEquivalence \
+	./internal/schedule:FuzzCostModelInvariants
+
+# Minimum total test coverage (percent) enforced by `make cover` and CI.
+COVER_THRESHOLD := 80
+
+.PHONY: build test race bench bench-json fmt fmt-check vet check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -30,4 +41,22 @@ fmt-check:
 vet:
 	go vet ./...
 
-check: build vet fmt-check test race bench
+# Run every native fuzz target briefly (seed corpus + ~10s of new inputs
+# each); any crasher fails the build.
+fuzz-smoke:
+	@set -e; for t in $(FUZZ_TARGETS); do \
+		pkg=$${t%:*}; target=$${t#*:}; \
+		echo "fuzz $$pkg $$target"; \
+		go test -run '^$$' -fuzz "^$$target$$" -fuzztime 10s "$$pkg"; \
+	done
+
+# Total coverage across all packages must stay at or above COVER_THRESHOLD.
+cover:
+	go test -coverprofile=cover.out -coverpkg=./... ./...
+	@go tool cover -func=cover.out | tail -1
+	@total=$$(go tool cover -func=cover.out | tail -1 | sed 's/[^0-9.]*\([0-9.]*\)%.*/\1/'); \
+	ok=$$(awk -v t="$$total" -v m="$(COVER_THRESHOLD)" 'BEGIN{print (t+0 >= m+0) ? 1 : 0}'); \
+	if [ "$$ok" != 1 ]; then \
+		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
+
+check: build vet fmt-check test race bench fuzz-smoke cover

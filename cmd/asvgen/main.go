@@ -11,6 +11,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 
@@ -18,13 +19,26 @@ import (
 )
 
 func main() {
-	out := flag.String("out", "asv-seq", "output directory")
-	frames := flag.Int("frames", 4, "frames to render")
-	width := flag.Int("w", 320, "frame width")
-	height := flag.Int("h", 200, "frame height")
-	seed := flag.Int64("seed", 1, "scene seed")
-	preset := flag.String("preset", "sceneflow", "scene preset (sceneflow|kitti)")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asvgen:", err)
+		os.Exit(2)
+	}
+}
+
+// run executes the command with the given arguments, writing the summary to
+// out. Split from main so the cmd is testable end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asvgen", flag.ContinueOnError)
+	fs.SetOutput(out)
+	outDir := fs.String("out", "asv-seq", "output directory")
+	frames := fs.Int("frames", 4, "frames to render")
+	width := fs.Int("w", 320, "frame width")
+	height := fs.Int("h", 200, "frame height")
+	seed := fs.Int64("seed", 1, "scene seed")
+	preset := fs.String("preset", "sceneflow", "scene preset (sceneflow|kitti)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var cfg asv.SceneConfig
 	switch *preset {
@@ -34,13 +48,11 @@ func main() {
 		cfg = asv.KITTILike(*width, *height, 1, *seed)[0]
 		cfg.FrameCount = *frames
 	default:
-		fmt.Fprintf(os.Stderr, "unknown preset %q\n", *preset)
-		os.Exit(2)
+		return fmt.Errorf("unknown preset %q", *preset)
 	}
 
-	if err := os.MkdirAll(*out, 0o755); err != nil {
-		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+	if err := os.MkdirAll(*outDir, 0o755); err != nil {
+		return err
 	}
 	seq := asv.GenerateSequence(cfg)
 	for i, fr := range seq.Frames {
@@ -53,12 +65,12 @@ func main() {
 			{fmt.Sprintf("disp_%03d.pfm", i), func(p string) error { return asv.SavePFM(p, fr.GT) }},
 		}
 		for _, f := range files {
-			if err := f.save(filepath.Join(*out, f.name)); err != nil {
-				fmt.Fprintf(os.Stderr, "writing %s: %v\n", f.name, err)
-				os.Exit(1)
+			if err := f.save(filepath.Join(*outDir, f.name)); err != nil {
+				return fmt.Errorf("writing %s: %w", f.name, err)
 			}
 		}
 	}
-	fmt.Printf("wrote %d frames (left/right PGM + disparity PFM) to %s\n",
-		len(seq.Frames), *out)
+	fmt.Fprintf(out, "wrote %d frames (left/right PGM + disparity PFM) to %s\n",
+		len(seq.Frames), *outDir)
+	return nil
 }

@@ -1,0 +1,94 @@
+package main
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asv"
+)
+
+// TestRunRendersReadableSequence renders a tiny sequence and re-reads every
+// file: the PGM views must decode to in-range images of the right size and
+// the PFM ground truth must round-trip bit-exactly (it is the format
+// external tools will score against).
+func TestRunRendersReadableSequence(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	args := []string{"-out", dir, "-frames", "2", "-w", "48", "-h", "32", "-preset", "kitti", "-seed", "5"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "wrote 2 frames") {
+		t.Fatalf("unexpected summary: %q", b.String())
+	}
+
+	// The reference: the exact sequence the command rendered.
+	cfg := asv.KITTILike(48, 32, 1, 5)[0]
+	cfg.FrameCount = 2
+	seq := asv.GenerateSequence(cfg)
+
+	for i, fr := range seq.Frames {
+		for _, side := range []struct {
+			name string
+			ref  *asv.Image
+		}{
+			{fmt.Sprintf("left_%03d.pgm", i), fr.Left},
+			{fmt.Sprintf("right_%03d.pgm", i), fr.Right},
+		} {
+			im, err := asv.LoadPGM(filepath.Join(dir, side.name))
+			if err != nil {
+				t.Fatalf("re-reading %s: %v", side.name, err)
+			}
+			if im.W != 48 || im.H != 32 {
+				t.Fatalf("%s: decoded %dx%d, want 48x32", side.name, im.W, im.H)
+			}
+			for px, v := range im.Pix {
+				if v < 0 || v > 1 {
+					t.Fatalf("%s: pixel %d out of range: %v", side.name, px, v)
+				}
+				want := side.ref.Pix[px]
+				if want < 0 {
+					want = 0
+				} else if want > 1 {
+					want = 1
+				}
+				if d := v - want; d > 1.0/65535 || d < -1.0/65535 {
+					t.Fatalf("%s: pixel %d drifted by %v over the 16-bit PGM write", side.name, px, d)
+				}
+			}
+		}
+
+		name := fmt.Sprintf("disp_%03d.pfm", i)
+		gt, err := asv.LoadPFM(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("re-reading %s: %v", name, err)
+		}
+		if gt.W != fr.GT.W || gt.H != fr.GT.H {
+			t.Fatalf("%s: decoded %dx%d, want %dx%d", name, gt.W, gt.H, fr.GT.W, fr.GT.H)
+		}
+		for px := range gt.Pix {
+			if gt.Pix[px] != fr.GT.Pix[px] {
+				t.Fatalf("%s: pixel %d not bit-identical: %v vs %v", name, px, gt.Pix[px], fr.GT.Pix[px])
+			}
+		}
+	}
+}
+
+func TestRunRejectsUnknownPreset(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-out", t.TempDir(), "-preset", "middlebury"}, &b); err == nil {
+		t.Fatal("unknown preset accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-frames", "notanumber"}, &b); err == nil {
+		t.Fatal("bad -frames value accepted")
+	}
+	if err := run([]string{"-nonsense"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

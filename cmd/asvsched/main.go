@@ -13,6 +13,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 	"text/tabwriter"
@@ -21,13 +22,26 @@ import (
 )
 
 func main() {
-	netName := flag.String("net", "FlowNetC", "network (FlowNetC, DispNet, GC-Net, PSMNet, DCGAN, GP-GAN, ArtGAN, MAGAN, 3D-GAN, DiscoGAN)")
-	policy := flag.String("policy", "ilar", "scheduling policy (baseline|dct|convr|ilar)")
-	height := flag.Int("h", asv.QHDH, "input height (stereo networks)")
-	width := flag.Int("w", asv.QHDW, "input width (stereo networks)")
-	asJSON := flag.Bool("json", false, "emit the full report as JSON instead of a table")
-	summary := flag.Bool("summary", false, "print the network architecture and exit")
-	flag.Parse()
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asvsched:", err)
+		os.Exit(2)
+	}
+}
+
+// run executes the command with the given arguments, writing the report to
+// out. Split from main so the cmd is testable end to end.
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asvsched", flag.ContinueOnError)
+	fs.SetOutput(out)
+	netName := fs.String("net", "FlowNetC", "network (FlowNetC, DispNet, GC-Net, PSMNet, DCGAN, GP-GAN, ArtGAN, MAGAN, 3D-GAN, DiscoGAN)")
+	policy := fs.String("policy", "ilar", "scheduling policy (baseline|dct|convr|ilar)")
+	height := fs.Int("h", asv.QHDH, "input height (stereo networks)")
+	width := fs.Int("w", asv.QHDW, "input width (stereo networks)")
+	asJSON := fs.Bool("json", false, "emit the full report as JSON instead of a table")
+	summary := fs.Bool("summary", false, "print the network architecture and exit")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
 
 	var net *asv.Network
 	for _, n := range asv.StereoDNNs(*height, *width) {
@@ -41,8 +55,7 @@ func main() {
 		}
 	}
 	if net == nil {
-		fmt.Fprintf(os.Stderr, "unknown network %q\n", *netName)
-		os.Exit(2)
+		return fmt.Errorf("unknown network %q", *netName)
 	}
 
 	pol, ok := map[string]asv.Policy{
@@ -52,30 +65,25 @@ func main() {
 		"ilar":     asv.PolicyILAR,
 	}[strings.ToLower(*policy)]
 	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown policy %q\n", *policy)
-		os.Exit(2)
+		return fmt.Errorf("unknown policy %q", *policy)
 	}
 
 	if *summary {
-		fmt.Print(net.Summary())
-		return
+		fmt.Fprint(out, net.Summary())
+		return nil
 	}
 
 	acc := asv.DefaultAccelerator()
 	rep := acc.RunNetwork(net, pol)
 
 	if *asJSON {
-		enc := json.NewEncoder(os.Stdout)
+		enc := json.NewEncoder(out)
 		enc.SetIndent("", "  ")
-		if err := enc.Encode(rep); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		return
+		return enc.Encode(rep)
 	}
 
-	fmt.Printf("%s under policy %v on 24x24 PEs / 1.5 MB / 25.6 GB/s\n\n", net.Name, pol)
-	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(out, "%s under policy %v on 24x24 PEs / 1.5 MB / 25.6 GB/s\n\n", net.Name, pol)
+	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
 	fmt.Fprintln(w, "layer\tkind\tcycles\tMACs\tDRAM-MB\trounds")
 	for i, r := range rep.PerLayer {
 		l := net.Layers[i]
@@ -84,7 +92,8 @@ func main() {
 	}
 	w.Flush()
 
-	fmt.Printf("\ntotal: %.3f ms, %.2f GMACs, %.1f MB DRAM, %.3f J (%.1f FPS)\n",
+	fmt.Fprintf(out, "\ntotal: %.3f ms, %.2f GMACs, %.1f MB DRAM, %.3f J (%.1f FPS)\n",
 		rep.Seconds*1e3, float64(rep.MACs)/1e9, float64(rep.DRAMBytes)/1e6,
 		rep.EnergyJ, rep.FPS())
+	return nil
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// The table dump must contain the header, one row per layer and the totals
+// line the paper-reproduction scripts grep for.
+func TestRunTableOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-net", "DCGAN", "-policy", "ilar"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"DCGAN under policy", "layer", "rounds", "total:", "FPS"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("table output missing %q:\n%s", want, out)
+		}
+	}
+	if lines := strings.Count(out, "\n"); lines < 6 {
+		t.Fatalf("table suspiciously short (%d lines):\n%s", lines, out)
+	}
+}
+
+// -json must emit a machine-readable report with per-layer results.
+func TestRunJSONOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-net", "FlowNetC", "-policy", "dct", "-h", "128", "-w", "256", "-json"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	var rep struct {
+		Cycles   int64
+		MACs     int64
+		PerLayer []struct {
+			Name   string
+			Cycles int64
+		}
+	}
+	if err := json.Unmarshal([]byte(b.String()), &rep); err != nil {
+		t.Fatalf("-json output does not parse: %v\n%s", err, b.String())
+	}
+	if rep.Cycles <= 0 || rep.MACs <= 0 || len(rep.PerLayer) == 0 {
+		t.Fatalf("degenerate JSON report: %+v", rep)
+	}
+	for _, l := range rep.PerLayer {
+		if l.Cycles <= 0 {
+			t.Fatalf("layer %q has no cycles in JSON report", l.Name)
+		}
+	}
+}
+
+func TestRunSummaryOutput(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-net", "DCGAN", "-summary"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "DCGAN") {
+		t.Fatalf("summary missing network name:\n%s", b.String())
+	}
+}
+
+func TestRunRejectsUnknownNetAndPolicy(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-net", "NoSuchNet"}, &b); err == nil {
+		t.Fatal("unknown network accepted")
+	}
+	if err := run([]string{"-net", "DCGAN", "-policy", "greedy"}, &b); err == nil {
+		t.Fatal("unknown policy accepted")
+	}
+}
+
+func TestRunRejectsBadFlags(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-h", "notanumber"}, &b); err == nil {
+		t.Fatal("bad -h value accepted")
+	}
+	if err := run([]string{"-nonsense"}, &b); err == nil {
+		t.Fatal("unknown flag accepted")
+	}
+}

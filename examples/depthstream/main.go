@@ -10,15 +10,17 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"asv"
 )
 
 func main() {
-	const (
-		w, h   = 192, 120
-		frames = 12
-	)
+	w, h, frames := 192, 120, 12
+	// ASV_SMOKE shrinks the demo so CI can run every example quickly.
+	if os.Getenv("ASV_SMOKE") != "" {
+		w, h, frames = 96, 64, 6
+	}
 	sgmOpt := asv.DefaultSGMOptions()
 	sgmOpt.MaxDisp = 28
 

@@ -1,0 +1,45 @@
+// Smoke test (ISSUE 5): every example program must build and run to
+// completion with ASV_SMOKE=1 (which shrinks the heavier demos). The
+// examples are the repo's living documentation; a broken one is a broken
+// doc. Skipped under -short, run by the CI coverage step.
+package examples
+
+import (
+	"os"
+	"os/exec"
+	"testing"
+)
+
+func TestExamplesSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("examples smoke builds and runs every example; skipped with -short")
+	}
+	entries, err := os.ReadDir(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ran := 0
+	for _, e := range entries {
+		if !e.IsDir() {
+			continue
+		}
+		ran++
+		name := e.Name()
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			cmd := exec.Command("go", "run", "./examples/"+name)
+			cmd.Dir = ".."
+			cmd.Env = append(os.Environ(), "ASV_SMOKE=1")
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				t.Fatalf("example %s failed: %v\n%s", name, err, out)
+			}
+			if len(out) == 0 {
+				t.Fatalf("example %s produced no output", name)
+			}
+		})
+	}
+	if ran == 0 {
+		t.Fatal("no example directories found")
+	}
+}

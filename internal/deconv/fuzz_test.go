@@ -1,0 +1,39 @@
+package deconv
+
+// Native fuzz target (ISSUE 3): the transform's equivalence to the
+// reference deconvolution over fuzzer-chosen shapes and seeds. The
+// differential tests sample this space; the fuzzer walks it.
+
+import (
+	"math/rand"
+	"testing"
+
+	"asv/internal/tensor"
+	"asv/internal/testkit"
+)
+
+func FuzzTransformEquivalence(f *testing.F) {
+	f.Add(int64(1), byte(1), byte(1), byte(3), byte(3), byte(4), byte(4), byte(2))
+	f.Add(int64(7), byte(2), byte(3), byte(5), byte(4), byte(1), byte(5), byte(0))
+	f.Add(int64(42), byte(3), byte(2), byte(2), byte(2), byte(2), byte(3), byte(3))
+	f.Fuzz(func(t *testing.T, seed int64, cRaw, fRaw, hRaw, wRaw, khRaw, kwRaw, padRaw byte) {
+		c := int(cRaw)%3 + 1
+		fc := int(fRaw)%3 + 1
+		h := int(hRaw)%6 + 2
+		wd := int(wRaw)%6 + 2
+		kh := int(khRaw)%5 + 1
+		kw := int(kwRaw)%5 + 1
+		pad := int(padRaw) % 4
+		if tensor.DeconvOut(h, kh, Stride, pad) < 1 || tensor.DeconvOut(wd, kw, Stride, pad) < 1 {
+			return
+		}
+		r := rand.New(rand.NewSource(seed))
+		in := testkit.RandTensor(r, c, h, wd)
+		w := testkit.RandTensor(r, fc, c, kh, kw)
+		ref := tensor.Deconv2D(in, w, Stride, pad)
+		got := Transformed2D(in, w, pad)
+		if m := testkit.DiffTensors(got, ref, tolExact); m != nil {
+			t.Fatalf("ifmap %v kernel %v pad %d: %s", in.Shape(), w.Shape(), pad, m)
+		}
+	})
+}

@@ -1,0 +1,140 @@
+package eyeriss
+
+import (
+	"fmt"
+
+	"asv/internal/tensor"
+)
+
+// Functional row-stationary simulator.
+//
+// The analytic model (RunNetwork) predicts Eyeriss-class performance; this
+// file actually *executes* the row-stationary dataflow, the way
+// systolic.Grid executes the weight-stationary one, so the comparison
+// architecture is verified against the same reference convolution as the
+// ASV array (see the differential oracle in functional_test.go).
+//
+// Row-stationary mapping (Chen et al., ISCA'16): a PE holds one filter row
+// and performs a 1-D sliding convolution against one ifmap row; PEs of one
+// column cover the KH filter rows of one output row, and their row-wise
+// partial sums accumulate down the column. The array processes a
+// (filter-row set ≤ Rows) × (output-row set ≤ Cols) tile per pass,
+// iterating over filters, channels and kernel-row/output-row tiles.
+
+// Array is a Rows×Cols row-stationary PE grid.
+type Array struct {
+	Rows, Cols int
+	cycles     int64
+	macs       int64
+}
+
+// NewArray returns an idle row-stationary array.
+func NewArray(rows, cols int) *Array {
+	if rows < 1 || cols < 1 {
+		panic(fmt.Sprintf("eyeriss: invalid array %dx%d", rows, cols))
+	}
+	return &Array{Rows: rows, Cols: cols}
+}
+
+// Cycles returns the total simulated cycles, including pass fill/drain.
+func (a *Array) Cycles() int64 { return a.cycles }
+
+// MACs returns the multiply-accumulates performed (padding taps included,
+// matching the naive execution model the analytic side charges).
+func (a *Array) MACs() int64 { return a.macs }
+
+// rowConv1D is the work of one PE for one pass: slide the kw-tap filter
+// row over the ifmap row (already offset for stride/pad) and emit ow
+// partial outputs. Accumulation is in float64, as one PE's psum register
+// chain never leaves the datapath mid-row.
+func (a *Array) rowConv1D(in *tensor.Tensor, ci, iy, pad, stride, ow, kw int, w *tensor.Tensor, fi, ky int, psum []float64) {
+	h, wd := in.Dim(1), in.Dim(2)
+	inRange := iy >= 0 && iy < h
+	for ox := 0; ox < ow; ox++ {
+		var acc float64
+		for kx := 0; kx < kw; kx++ {
+			ix := ox*stride + kx - pad
+			if inRange && ix >= 0 && ix < wd {
+				acc += float64(in.At3(ci, iy, ix)) * float64(w.At4(fi, ci, ky, kx))
+			}
+			a.macs++ // the PE clocks every tap, real or padded
+		}
+		psum[ox] += acc
+	}
+	a.cycles += int64(ow * kw)
+}
+
+// Conv2D executes the convolution of in [C,H,W] with w [F,C,KH,KW] on the
+// row-stationary array (stride/pad as in tensor.Conv2D) and returns
+// [F,OH,OW]. The result is numerically identical to tensor.Conv2D up to
+// float summation order.
+func (a *Array) Conv2D(in, w *tensor.Tensor, stride, pad int) *tensor.Tensor {
+	if in.Rank() != 3 || w.Rank() != 4 {
+		panic(fmt.Sprintf("eyeriss: Conv2D wants ranks 3,4; got %d,%d", in.Rank(), w.Rank()))
+	}
+	c, f := in.Dim(0), w.Dim(0)
+	if c != w.Dim(1) {
+		panic(fmt.Sprintf("eyeriss: Conv2D channel mismatch ifmap=%d weights=%d", c, w.Dim(1)))
+	}
+	kh, kw := w.Dim(2), w.Dim(3)
+	oh := tensor.ConvOut(in.Dim(1), kh, stride, pad)
+	ow := tensor.ConvOut(in.Dim(2), kw, stride, pad)
+	if oh <= 0 || ow <= 0 {
+		panic(fmt.Sprintf("eyeriss: Conv2D non-positive output %dx%d", oh, ow))
+	}
+
+	// Output accumulates in float64 until every channel/kernel-row pass has
+	// been folded in (the RF-resident psum of the mapping).
+	acc := make([]float64, f*oh*ow)
+	psum := make([]float64, ow)
+
+	for fi := 0; fi < f; fi++ {
+		for ci := 0; ci < c; ci++ {
+			// Tile kernel rows onto array rows, output rows onto columns.
+			for ky0 := 0; ky0 < kh; ky0 += a.Rows {
+				kt := min(a.Rows, kh-ky0)
+				for oy0 := 0; oy0 < oh; oy0 += a.Cols {
+					ot := min(a.Cols, oh-oy0)
+					// One pass: PE(i,j) convolves filter row ky0+i against
+					// the ifmap row feeding output row oy0+j. PEs run in
+					// lockstep; the pass costs one PE's row workload plus
+					// the diagonal fill/drain of the psum chain.
+					for j := 0; j < ot; j++ {
+						oy := oy0 + j
+						base := (fi*oh + oy) * ow
+						for x := range psum {
+							psum[x] = 0
+						}
+						for i := 0; i < kt; i++ {
+							ky := ky0 + i
+							iy := oy*stride + ky - pad
+							a.rowConv1D(in, ci, iy, pad, stride, ow, kw, w, fi, ky, psum)
+						}
+						for x := 0; x < ow; x++ {
+							acc[base+x] += psum[x]
+						}
+					}
+					// Lockstep parallelism: the kt×ot PEs of the pass ran
+					// concurrently, so charge one PE's work, not the sum.
+					passMACs := int64(ow * kw)
+					a.cycles -= int64(kt*ot)*passMACs - passMACs
+					a.cycles += int64(a.Rows + a.Cols) // fill/drain bubble
+				}
+			}
+		}
+	}
+
+	out := tensor.New(f, oh, ow)
+	d := out.Data()
+	for i := range d {
+		d[i] = float32(acc[i])
+	}
+	return out
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,159 @@
+package eyeriss
+
+import (
+	"testing"
+
+	"asv/internal/deconv"
+	"asv/internal/tensor"
+	"asv/internal/testkit"
+)
+
+// Differential oracle (ISSUE 2): the functional row-stationary array must
+// agree with the reference convolution on randomized shapes, exactly like
+// the systolic array does — both comparison architectures compute the same
+// math, only the performance models differ.
+
+func TestRowStationaryConvMatchesReferenceRandomShapes(t *testing.T) {
+	r := testkit.NewRand(t)
+	for i := 0; i < 40; i++ {
+		c := testkit.RandDim(r, 1, 4)
+		f := testkit.RandDim(r, 1, 4)
+		kh := testkit.RandDim(r, 1, 4)
+		kw := testkit.RandDim(r, 1, 4)
+		stride := testkit.RandDim(r, 1, 2)
+		pad := testkit.RandDim(r, 0, 2)
+		h := testkit.RandDim(r, kh, kh+6)
+		wd := testkit.RandDim(r, kw, kw+6)
+		if tensor.ConvOut(h, kh, stride, pad) < 1 || tensor.ConvOut(wd, kw, stride, pad) < 1 {
+			continue
+		}
+		in := testkit.RandTensor(r, c, h, wd)
+		w := testkit.RandTensor(r, f, c, kh, kw)
+		arr := NewArray(testkit.RandDim(r, 1, 4), testkit.RandDim(r, 1, 4))
+		got := arr.Conv2D(in, w, stride, pad)
+		want := tensor.Conv2D(in, w, stride, pad)
+		if m := testkit.DiffTensors(got, want, 1e-9); m != nil {
+			t.Fatalf("case %d: in %v w %v stride %d pad %d array %dx%d: %s",
+				i, in.Shape(), w.Shape(), stride, pad, arr.Rows, arr.Cols, m)
+		}
+	}
+}
+
+// subAxis describes one spatial dimension of a sub-convolution's gather:
+// the n ofmap positions u0, u0+2, ... of one parity class read ifmap
+// windows starting at a0, a0+1, ...; top is the (non-positive) first ifmap
+// coordinate any window touches, i.e. the explicit padding offset.
+type subAxis struct {
+	u0, n, a0, top, padded int
+}
+
+func sliceAxis(out, pad, delta, sk, h int) subAxis {
+	u0 := ((pad-delta)%2 + 2) % 2
+	var n int
+	if u0 == 0 {
+		n = (out + 1) / 2
+	} else {
+		n = out / 2
+	}
+	a0 := (u0 - pad + delta) / 2
+	top := 0
+	if a0 < 0 {
+		top = a0
+	}
+	bottom := h - 1
+	if last := a0 + n - 1 + sk - 1; last > bottom {
+		bottom = last
+	}
+	return subAxis{u0: u0, n: n, a0: a0, top: top, padded: bottom - top + 1}
+}
+
+// TestRowStationaryExecutesTransformedDeconv is the Eyeriss+DCT path of the
+// paper's comparison in miniature: each sub-kernel of a transformed
+// deconvolution is a dense convolution the row-stationary array can run
+// as-is (on an explicitly zero-padded ifmap, since sub-windows may hang off
+// either edge); the gather step must reproduce the reference deconvolution.
+func TestRowStationaryExecutesTransformedDeconv(t *testing.T) {
+	r := testkit.NewRand(t)
+	for i := 0; i < 12; i++ {
+		c := testkit.RandDim(r, 1, 3)
+		f := testkit.RandDim(r, 1, 3)
+		h := testkit.RandDim(r, 3, 6)
+		wd := testkit.RandDim(r, 3, 6)
+		kh := testkit.RandDim(r, 2, 4)
+		kw := testkit.RandDim(r, 2, 4)
+		pad := testkit.RandDim(r, 0, 2)
+		oh := tensor.DeconvOut(h, kh, deconv.Stride, pad)
+		ow := tensor.DeconvOut(wd, kw, deconv.Stride, pad)
+		if oh < 1 || ow < 1 {
+			continue
+		}
+		in := testkit.RandTensor(r, c, h, wd)
+		w := testkit.RandTensor(r, f, c, kh, kw)
+		want := tensor.Deconv2D(in, w, deconv.Stride, pad)
+
+		got := tensor.New(f, oh, ow)
+		arr := NewArray(3, 3)
+		for k, s := range deconv.Decompose2D(w) {
+			if s == nil {
+				continue
+			}
+			dy, dx := k&1, (k>>1)&1
+			sh, sw := s.Dim(2), s.Dim(3)
+			ya := sliceAxis(oh, pad, dy, sh, h)
+			xa := sliceAxis(ow, pad, dx, sw, wd)
+			if ya.n == 0 || xa.n == 0 {
+				continue
+			}
+			padded := tensor.New(c, ya.padded, xa.padded)
+			for ci := 0; ci < c; ci++ {
+				for iy := 0; iy < h; iy++ {
+					for ix := 0; ix < wd; ix++ {
+						padded.Set3(in.At3(ci, iy, ix), ci, iy-ya.top, ix-xa.top)
+					}
+				}
+			}
+			sub := arr.Conv2D(padded, s, 1, 0)
+			for fi := 0; fi < f; fi++ {
+				for m := 0; m < ya.n; m++ {
+					for nIdx := 0; nIdx < xa.n; nIdx++ {
+						v := sub.At3(fi, ya.a0+m-ya.top, xa.a0+nIdx-xa.top)
+						got.Set3(v, fi, ya.u0+2*m, xa.u0+2*nIdx)
+					}
+				}
+			}
+		}
+		if m := testkit.DiffTensors(got, want, 1e-9); m != nil {
+			t.Fatalf("case %d: ifmap %v kernel %v pad %d: %s", i, in.Shape(), w.Shape(), pad, m)
+		}
+	}
+}
+
+func TestRowStationaryMACAccounting(t *testing.T) {
+	r := testkit.NewRand(t)
+	in := testkit.RandTensor(r, 2, 5, 7)
+	w := testkit.RandTensor(r, 3, 2, 3, 3)
+	arr := NewArray(2, 3)
+	out := arr.Conv2D(in, w, 1, 1)
+	oh, ow := out.Dim(1), out.Dim(2)
+	want := int64(3 * 2 * 3 * 3 * oh * ow) // F*C*KH*KW*OH*OW, padding included
+	if arr.MACs() != want {
+		t.Fatalf("MACs = %d, want %d", arr.MACs(), want)
+	}
+	if arr.Cycles() <= 0 {
+		t.Fatalf("cycles = %d", arr.Cycles())
+	}
+	// Lockstep parallelism: the array must be faster than one PE doing all
+	// the work serially.
+	if arr.Cycles() >= want {
+		t.Fatalf("array no faster than serial: %d >= %d", arr.Cycles(), want)
+	}
+}
+
+func TestNewArrayPanicsOnBadSize(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for 0x3 array")
+		}
+	}()
+	NewArray(0, 3)
+}

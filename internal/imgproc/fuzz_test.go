@@ -1,0 +1,114 @@
+package imgproc_test
+
+// Native fuzz targets (ISSUE 3) for the attacker-facing surface of the
+// package: the PGM/PFM decoders consume arbitrary files, and the buffer
+// pool's zero-on-get / poison-on-put contract must hold for any get/put
+// sequence. External test package so the targets exercise only the
+// exported API (and so testkit, which imports imgproc, stays importable).
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"asv/internal/imgproc"
+)
+
+func FuzzReadPGM(f *testing.F) {
+	f.Add([]byte("P5\n3 2\n255\nabcdef"))
+	f.Add([]byte("P5\n2 2\n65535\nTESTBYTES8"))
+	f.Add([]byte("P5\n999999999 999999999\n255\n"))
+	f.Add([]byte("P6\n1 1\n255\nx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := imgproc.ReadPGM(bytes.NewReader(data))
+		if err != nil {
+			return // rejecting garbage is fine; panicking or OOMing is not
+		}
+		// Round-trip property: whatever decoded must survive re-encoding.
+		var buf bytes.Buffer
+		if err := imgproc.WritePGM(&buf, im); err != nil {
+			t.Fatalf("WritePGM failed on decoded image: %v", err)
+		}
+		back, err := imgproc.ReadPGM(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written PGM failed: %v", err)
+		}
+		if back.W != im.W || back.H != im.H {
+			t.Fatalf("round-trip size %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+		}
+		for i := range im.Pix {
+			// Decoded pixels are already in [0,1]; the 16-bit writer may
+			// quantize by at most half a step.
+			if d := float64(back.Pix[i] - im.Pix[i]); d > 1.0/65535 || d < -1.0/65535 {
+				t.Fatalf("pixel %d drifted by %v over a PGM round-trip", i, d)
+			}
+		}
+	})
+}
+
+func FuzzReadPFM(f *testing.F) {
+	f.Add([]byte("Pf\n2 2\n-1.0\n0123456789abcdef"))
+	f.Add([]byte("Pf\n2 1\n1.0\n01234567"))
+	f.Add([]byte("Pf\n123456789 123456789\n-1.0\n"))
+	f.Add([]byte("PF\n1 1\n-1.0\nxxxxxxxxxxxx"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		im, err := imgproc.ReadPFM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		// PFM stores float32 verbatim: the round-trip must be bit-exact,
+		// including NaN payloads and infinities from adversarial inputs.
+		var buf bytes.Buffer
+		if err := imgproc.WritePFM(&buf, im); err != nil {
+			t.Fatalf("WritePFM failed on decoded image: %v", err)
+		}
+		back, err := imgproc.ReadPFM(&buf)
+		if err != nil {
+			t.Fatalf("re-read of written PFM failed: %v", err)
+		}
+		if back.W != im.W || back.H != im.H {
+			t.Fatalf("round-trip size %dx%d, want %dx%d", back.W, back.H, im.W, im.H)
+		}
+		for i := range im.Pix {
+			if math.Float32bits(back.Pix[i]) != math.Float32bits(im.Pix[i]) {
+				t.Fatalf("pixel %d not bit-identical over a PFM round-trip: %x vs %x",
+					i, math.Float32bits(back.Pix[i]), math.Float32bits(im.Pix[i]))
+			}
+		}
+	})
+}
+
+func FuzzImagePool(f *testing.F) {
+	f.Add(uint16(4), uint16(3), byte(0xff))
+	f.Add(uint16(1), uint16(1), byte(1))
+	f.Add(uint16(64), uint16(64), byte(7))
+	f.Fuzz(func(t *testing.T, wRaw, hRaw uint16, fill byte) {
+		w := int(wRaw)%128 + 1
+		h := int(hRaw)%128 + 1
+		im := imgproc.GetImage(w, h)
+		if im.W != w || im.H != h || len(im.Pix) != w*h {
+			t.Fatalf("GetImage(%d,%d) returned %dx%d with %d pixels", w, h, im.W, im.H, len(im.Pix))
+		}
+		for i, v := range im.Pix {
+			if v != 0 {
+				t.Fatalf("recycled image not zeroed at %d: %v", i, v)
+			}
+		}
+		// Dirty the buffer, return it, and take it back: Get must zero it.
+		for i := range im.Pix {
+			im.Pix[i] = float32(fill) + 0.5
+		}
+		imgproc.PutImage(im)
+		if im.Pix != nil {
+			t.Fatal("PutImage did not poison the returned image's Pix")
+		}
+		imgproc.PutImage(im) // double put of a poisoned handle must be a no-op
+		again := imgproc.GetImage(w, h)
+		for i, v := range again.Pix {
+			if v != 0 {
+				t.Fatalf("image recycled dirty at %d: %v", i, v)
+			}
+		}
+		imgproc.PutImage(again)
+	})
+}

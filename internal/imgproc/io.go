@@ -18,6 +18,46 @@ import (
 //   - PFM (Pf, little-endian) for disparity maps and any signed/float
 //     data, the format KITTI and Middlebury use for ground truth.
 
+// maxReadPixels bounds the image size the readers will decode. Headers are
+// attacker-controlled (or fuzzer-controlled) and the pixel buffer is
+// allocated from the header alone, so an unchecked "999999999 999999999"
+// header would be a multi-exabyte allocation. 2^26 pixels (64 Mpx, ~256 MB
+// of float32) is far above any stereo dataset frame.
+const maxReadPixels = 1 << 26
+
+// checkReadDims validates header-supplied dimensions. The per-dimension
+// bound keeps w*h from overflowing before the product test.
+func checkReadDims(format string, w, h int) error {
+	if w <= 0 || h <= 0 || w > maxReadPixels || h > maxReadPixels || w*h > maxReadPixels {
+		return fmt.Errorf("imgproc: unreasonable %s dimensions %dx%d", format, w, h)
+	}
+	return nil
+}
+
+// expectSeparator consumes the single whitespace byte between header and
+// pixel data and rejects anything else — a non-whitespace byte there means
+// the header was misparsed (e.g. a maxval with trailing garbage) and the
+// pixel stream would be read out of register.
+func expectSeparator(br *bufio.Reader, format string) error {
+	b, err := br.ReadByte()
+	if err != nil {
+		return err
+	}
+	if b != ' ' && b != '\t' && b != '\n' && b != '\r' {
+		return fmt.Errorf("imgproc: %s header not terminated by whitespace (got %q)", format, b)
+	}
+	return nil
+}
+
+// clamp01 pins decoded values to the documented [0, 1] range: a malformed
+// file may store samples above its own maxval.
+func clamp01(v float32) float32 {
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
 // WritePGM writes im as a binary 16-bit PGM, clamping pixels to [0, 1].
 func WritePGM(w io.Writer, im *Image) error {
 	bw := bufio.NewWriter(w)
@@ -53,10 +93,13 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	if _, err := fmt.Fscan(br, &w, &h, &maxv); err != nil {
 		return nil, fmt.Errorf("imgproc: reading PGM header: %w", err)
 	}
-	if w <= 0 || h <= 0 || maxv <= 0 || maxv > 65535 {
+	if maxv <= 0 || maxv > 65535 {
 		return nil, fmt.Errorf("imgproc: bad PGM header %dx%d max %d", w, h, maxv)
 	}
-	if _, err := br.ReadByte(); err != nil { // single whitespace after header
+	if err := checkReadDims("PGM", w, h); err != nil {
+		return nil, err
+	}
+	if err := expectSeparator(br, "PGM"); err != nil {
 		return nil, err
 	}
 	im := NewImage(w, h)
@@ -67,7 +110,7 @@ func ReadPGM(r io.Reader) (*Image, error) {
 			return nil, fmt.Errorf("imgproc: reading PGM pixels: %w", err)
 		}
 		for i, b := range buf {
-			im.Pix[i] = float32(b) * scale
+			im.Pix[i] = clamp01(float32(b) * scale)
 		}
 		return im, nil
 	}
@@ -76,7 +119,7 @@ func ReadPGM(r io.Reader) (*Image, error) {
 		return nil, fmt.Errorf("imgproc: reading PGM pixels: %w", err)
 	}
 	for i := 0; i < w*h; i++ {
-		im.Pix[i] = float32(binary.BigEndian.Uint16(buf[2*i:])) * scale
+		im.Pix[i] = clamp01(float32(binary.BigEndian.Uint16(buf[2*i:])) * scale)
 	}
 	return im, nil
 }
@@ -117,10 +160,13 @@ func ReadPFM(r io.Reader) (*Image, error) {
 	if _, err := fmt.Fscan(br, &w, &h, &scale); err != nil {
 		return nil, fmt.Errorf("imgproc: reading PFM header: %w", err)
 	}
-	if w <= 0 || h <= 0 || scale == 0 {
+	if scale == 0 {
 		return nil, fmt.Errorf("imgproc: bad PFM header %dx%d scale %v", w, h, scale)
 	}
-	if _, err := br.ReadByte(); err != nil {
+	if err := checkReadDims("PFM", w, h); err != nil {
+		return nil, err
+	}
+	if err := expectSeparator(br, "PFM"); err != nil {
 		return nil, err
 	}
 	order := binary.ByteOrder(binary.LittleEndian)

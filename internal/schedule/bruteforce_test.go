@@ -1,0 +1,155 @@
+package schedule
+
+// Brute-force scheduling oracle (ISSUE 2): the optimizer's power-of-two
+// tile sweep plus greedy filter packing must land within a few percent of
+// the exhaustively-searched optimum over the same feasible schedule space
+// (every integer tile size × every uniform filter-group size × both reuse
+// orders, all under the Equ. 10 buffer constraint). The test is what makes
+// the "near-optimal" claim of paper Sec. 4.2 machine-checked.
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"asv/internal/hw"
+	"asv/internal/testkit"
+)
+
+// sequentialGroups schedules one sub-kernel at a time in batches of gsz —
+// the ConvR-like corner of the space.
+func sequentialGroups(spec LayerSpec, gsz int64) []group {
+	var groups []group
+	for k, sc := range spec.Subs {
+		for left := sc.Filters; left > 0; {
+			n := gsz
+			if n > left {
+				n = left
+			}
+			g := group{counts: make([]int64, len(spec.Subs))}
+			g.counts[k] = n
+			left -= n
+			groups = append(groups, g)
+		}
+	}
+	return groups
+}
+
+// bruteForceBest exhaustively searches the feasible schedule space: every
+// integer tile size, every uniform and sequential group size, the greedy
+// packing itself, and both reuse orders. It shares runSchedule — the cost
+// model under test is the optimizer's *search*, not the model.
+func bruteForceBest(spec LayerSpec, cfg hw.Config) Result {
+	usable := cfg.UsableBuf()
+	elemB := cfg.ElemBytes
+	maxF := maxFilters(spec)
+	best := Result{Cycles: math.MaxInt64}
+	consider := func(r Result) {
+		if r.Cycles < best.Cycles {
+			best = r
+		}
+	}
+	for tile := int64(1); tile <= spec.SpatialElems; tile++ {
+		tileIfBytes := tile * spec.InC * elemB
+		rem := usable - tileIfBytes
+		if rem < usable/16 {
+			if tile != 1 {
+				continue
+			}
+			rem = usable / 2 // degenerate layer: same charge as the optimizer
+		}
+		var cands [][]group
+		cands = append(cands, packFilters(spec, tile, elemB, rem, rem, rem))
+		for gsz := int64(1); gsz <= maxF; gsz++ {
+			cands = append(cands, roundRobinGroups(spec, gsz))
+			if len(spec.Subs) > 1 {
+				cands = append(cands, sequentialGroups(spec, gsz))
+			}
+		}
+		for _, groups := range cands {
+			if !groupsFitBudget(spec, groups, tile, elemB, rem) {
+				continue
+			}
+			consider(runSchedule(spec, cfg, tile, groups, true))
+			consider(runSchedule(spec, cfg, tile, groups, false))
+		}
+	}
+	best.Name = spec.Name
+	return best
+}
+
+// smallHW is a scaled-down accelerator whose buffer is tight enough that
+// tiling decisions actually matter for the random layers below.
+func smallHW() hw.Config {
+	cfg := hw.Default()
+	cfg.PEsX, cfg.PEsY = 8, 8
+	cfg.BufBytes = 32 << 10 // 16 KB usable per double-buffer half
+	return cfg
+}
+
+// randSmallSpec draws a small transformed-deconvolution-shaped layer:
+// 1, 2 or 4 sub-kernels sharing one ifmap.
+func randSmallSpec(r *rand.Rand, i int) LayerSpec {
+	nSubs := []int{1, 2, 4}[r.Intn(3)]
+	spec := LayerSpec{
+		Name:         "rand",
+		InC:          int64(testkit.RandDim(r, 1, 8)),
+		SpatialElems: int64(testkit.RandDim(r, 8, 256)),
+		SharedIfmap:  nSubs > 1,
+	}
+	for k := 0; k < nSubs; k++ {
+		spec.Subs = append(spec.Subs, SubConv{
+			Taps:         int64(testkit.RandDim(r, 1, 9)),
+			OutPerFilter: int64(testkit.RandDim(r, 4, 512)),
+			Filters:      int64(testkit.RandDim(r, 1, 16)),
+		})
+	}
+	return spec
+}
+
+func TestILARWithinFivePercentOfBruteForce(t *testing.T) {
+	r := testkit.NewRand(t)
+	cfg := smallHW()
+	const cases = 24 // acceptance floor is 20 randomized small layers
+	worst := 1.0
+	for i := 0; i < cases; i++ {
+		spec := randSmallSpec(r, i)
+		got := Evaluate(spec, cfg, Options{ILAR: true})
+		opt := bruteForceBest(spec, cfg)
+		if opt.Cycles <= 0 || opt.Cycles == math.MaxInt64 {
+			t.Fatalf("case %d: brute force found no schedule for %+v", i, spec)
+		}
+		ratio := float64(got.Cycles) / float64(opt.Cycles)
+		if ratio > worst {
+			worst = ratio
+		}
+		if ratio > 1.05 {
+			t.Errorf("case %d: ILAR %d cycles vs brute-force optimum %d (%.1f%% above) for %+v",
+				i, got.Cycles, opt.Cycles, (ratio-1)*100, spec)
+		}
+		if got.Cycles < opt.Cycles {
+			t.Errorf("case %d: optimizer beat the exhaustive search (%d < %d) — brute force is not covering the space",
+				i, got.Cycles, opt.Cycles)
+		}
+	}
+	t.Logf("worst ILAR/brute-force cycle ratio over %d layers: %.4f", cases, worst)
+}
+
+// TestBruteForceAgreesOnTinyLayer pins the oracle itself: on a layer small
+// enough to reason about (one sub-kernel, everything fits in one round),
+// both searches must find the single-round schedule.
+func TestBruteForceAgreesOnTinyLayer(t *testing.T) {
+	cfg := smallHW()
+	spec := LayerSpec{
+		Name: "tiny", InC: 2, SpatialElems: 16,
+		Subs: []SubConv{{Taps: 9, OutPerFilter: 16, Filters: 4}},
+	}
+	got := Evaluate(spec, cfg, Options{ILAR: true})
+	opt := bruteForceBest(spec, cfg)
+	if got.Cycles != opt.Cycles {
+		t.Fatalf("tiny layer: optimizer %d cycles, brute force %d", got.Cycles, opt.Cycles)
+	}
+	if got.Rounds != 1 {
+		t.Fatalf("tiny layer should fit one round, got %d", got.Rounds)
+	}
+}

@@ -156,7 +156,11 @@ func evaluateSingle(spec LayerSpec, cfg hw.Config, opt Options) Result {
 	}
 
 	// Optimized policy: sweep power-of-two tile sizes; for each tile the
-	// remaining buffer is packed with filters by the Knapsack-style greedy.
+	// remaining buffer is packed with filters by the Knapsack-style greedy,
+	// plus a bounded family of uniform group sizes (the greedy's max-fill
+	// packing can leave a lopsided final round whose bandwidth overlaps
+	// poorly; balanced groups recover it — see the brute-force oracle in
+	// bruteforce_test.go).
 	for tileSpatial := spec.SpatialElems; tileSpatial >= 1; tileSpatial = tileSpatial / 2 {
 		tileIfBytes := tileSpatial * spec.InC * elemB
 		rem := usable - tileIfBytes
@@ -168,15 +172,109 @@ func evaluateSingle(spec LayerSpec, cfg hw.Config, opt Options) Result {
 				continue
 			}
 		}
-		groups := packFilters(spec, tileSpatial, elemB, rem, rem, rem)
-		consider(runSchedule(spec, cfg, tileSpatial, groups, true), opt.allows(true))
-		consider(runSchedule(spec, cfg, tileSpatial, groups, false), opt.allows(false))
+		evalGroups := func(groups []group) {
+			consider(runSchedule(spec, cfg, tileSpatial, groups, true), opt.allows(true))
+			consider(runSchedule(spec, cfg, tileSpatial, groups, false), opt.allows(false))
+		}
+		evalGroups(packFilters(spec, tileSpatial, elemB, rem, rem, rem))
+		for _, gsz := range candidateGroupSizes(maxFilters(spec)) {
+			groups := roundRobinGroups(spec, gsz)
+			if groupsFitBudget(spec, groups, tileSpatial, elemB, rem) {
+				evalGroups(groups)
+			}
+		}
 		if tileSpatial == 1 {
 			break
 		}
 	}
 	best.Name = spec.Name
 	return best
+}
+
+// maxFilters returns the largest per-sub-kernel filter count of the layer.
+func maxFilters(spec LayerSpec) int64 {
+	var m int64
+	for _, sc := range spec.Subs {
+		if sc.Filters > m {
+			m = sc.Filters
+		}
+	}
+	return m
+}
+
+// candidateGroupSizes returns the uniform group sizes the sweep tries:
+// every size up to 16, then geometric coverage (powers of two and
+// fractions of maxF) so the candidate count stays logarithmic for wide
+// layers.
+func candidateGroupSizes(maxF int64) []int64 {
+	var out []int64
+	for g := int64(1); g <= maxF && g <= 16; g++ {
+		out = append(out, g)
+	}
+	for g := int64(32); g < maxF; g *= 2 {
+		out = append(out, g)
+	}
+	if maxF > 16 {
+		out = append(out, maxF)
+		for d := int64(2); d <= 8; d++ {
+			if g := (maxF + d - 1) / d; g > 16 {
+				out = append(out, g)
+			}
+		}
+	}
+	return out
+}
+
+// roundRobinGroups packs gsz filters of every sub-kernel per group until
+// all filters are placed — the balanced alternative to the greedy.
+func roundRobinGroups(spec LayerSpec, gsz int64) []group {
+	left := make([]int64, len(spec.Subs))
+	remaining := int64(0)
+	for k, sc := range spec.Subs {
+		left[k] = sc.Filters
+		remaining += sc.Filters
+	}
+	var groups []group
+	for remaining > 0 {
+		g := group{counts: make([]int64, len(spec.Subs))}
+		for k := range spec.Subs {
+			n := gsz
+			if n > left[k] {
+				n = left[k]
+			}
+			g.counts[k] = n
+			left[k] -= n
+			remaining -= n
+		}
+		groups = append(groups, g)
+	}
+	return groups
+}
+
+// groupsFitBudget reports whether every group respects the buffer budget
+// left after the resident ifmap tile: parameter bytes plus per-tile output
+// bytes within rem, except single-filter oversized groups, which stream
+// (the same escape hatch packFilters uses).
+func groupsFitBudget(spec LayerSpec, groups []group, tileSpatial, elemB, rem int64) bool {
+	tileFrac := float64(tileSpatial) / float64(spec.SpatialElems)
+	for _, g := range groups {
+		var bytes, filters int64
+		for k, c := range g.counts {
+			if c == 0 {
+				continue
+			}
+			of := int64(math.Ceil(float64(spec.Subs[k].OutPerFilter) * tileFrac))
+			if of < 1 {
+				of = 1
+			}
+			bytes += c * (spec.Subs[k].Taps*spec.InC*elemB + of*elemB)
+			filters += c
+		}
+		if bytes > rem && filters > 1 {
+			return false
+		}
+	}
+	return true
 }
 
 // packFilters batches the layer's filters into buffer-resident groups.

@@ -1,0 +1,165 @@
+package testkit
+
+import (
+	"bufio"
+	"crypto/sha256"
+	"encoding/binary"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"testing"
+
+	"asv/internal/imgproc"
+	"asv/internal/tensor"
+)
+
+// updateGoldens is registered once per test binary; run
+//
+//	go test ./... -update
+//
+// to rewrite every golden store a test touches instead of comparing.
+var updateGoldens = flag.Bool("update", false, "rewrite golden stores instead of comparing")
+
+// Update reports whether the test run was asked to rewrite goldens.
+func Update() bool { return *updateGoldens }
+
+// Checksum returns a short stable content hash of a float32 slice: the
+// first 16 hex digits of the SHA-256 over the exact bit patterns. Bitwise
+// equality — not approximate equality — is the contract: the golden corpus
+// exists to catch any numerical drift, however small.
+func Checksum(v []float32) string {
+	h := sha256.New()
+	var buf [4]byte
+	for _, x := range v {
+		binary.LittleEndian.PutUint32(buf[:], x2bits(x))
+		h.Write(buf[:])
+	}
+	return fmt.Sprintf("%x", h.Sum(nil))[:16]
+}
+
+// x2bits is math.Float32bits canonicalizing negative zero, so that -0 and
+// +0 checksum identically.
+func x2bits(x float32) uint32 {
+	if x == 0 {
+		return 0
+	}
+	return math.Float32bits(x)
+}
+
+// ChecksumImage returns the content checksum of an image, including its
+// dimensions (two images with the same pixels but different shapes differ).
+func ChecksumImage(im *imgproc.Image) string {
+	return Checksum(append([]float32{float32(im.W), float32(im.H)}, im.Pix...))
+}
+
+// ChecksumImages checksums a sequence of images as one unit.
+func ChecksumImages(ims ...*imgproc.Image) string {
+	var v []float32
+	for _, im := range ims {
+		v = append(v, float32(im.W), float32(im.H))
+		v = append(v, im.Pix...)
+	}
+	return Checksum(v)
+}
+
+// ChecksumTensor returns the content checksum of a tensor, shape included.
+func ChecksumTensor(t *tensor.Tensor) string {
+	v := make([]float32, 0, t.Len()+t.Rank())
+	for _, d := range t.Shape() {
+		v = append(v, float32(d))
+	}
+	return Checksum(append(v, t.Data()...))
+}
+
+// Store is a key→value golden file: one "key = value" per line, sorted,
+// with '#' comments. Values are short strings — checksums or formatted
+// scalars — so diffs of a golden update review like a changelog.
+type Store struct {
+	path string
+	m    map[string]string
+}
+
+// OpenStore loads (or, under -update, creates) the golden store at path.
+// A missing file is an empty store under -update and a fatal error
+// otherwise.
+func OpenStore(t testing.TB, path string) *Store {
+	t.Helper()
+	s := &Store{path: path, m: map[string]string{}}
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) && Update() {
+			return s
+		}
+		t.Fatalf("testkit: opening golden store: %v (run `go test -update` to create it)", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		k, v, ok := strings.Cut(line, "=")
+		if !ok {
+			t.Fatalf("testkit: %s: malformed golden line %q", path, line)
+		}
+		s.m[strings.TrimSpace(k)] = strings.TrimSpace(v)
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatalf("testkit: reading golden store: %v", err)
+	}
+	return s
+}
+
+// Check compares got against the stored value for key. Under -update it
+// records got and rewrites the store instead. A missing key is a failure
+// (the corpus must be updated explicitly), as is any value drift.
+func (s *Store) Check(t testing.TB, key, got string) {
+	t.Helper()
+	if Update() {
+		s.m[key] = got
+		s.flush(t)
+		return
+	}
+	want, ok := s.m[key]
+	if !ok {
+		t.Errorf("golden %s: key %q not in corpus (got %q; run `go test -update` and commit %s)",
+			s.path, key, got, s.path)
+		return
+	}
+	if got != want {
+		t.Errorf("golden %s: %q drifted: got %q want %q — if the numerical change is intended, run `go test -update` and commit the new corpus",
+			s.path, key, got, want)
+	}
+}
+
+// CheckImage records/compares an image checksum under key.
+func (s *Store) CheckImage(t testing.TB, key string, im *imgproc.Image) {
+	t.Helper()
+	s.Check(t, key, ChecksumImage(im))
+}
+
+// flush rewrites the store file, sorted by key.
+func (s *Store) flush(t testing.TB) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(s.path), 0o755); err != nil {
+		t.Fatalf("testkit: creating golden dir: %v", err)
+	}
+	keys := make([]string, 0, len(s.m))
+	for k := range s.m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	b.WriteString("# Golden corpus — regenerate with `go test -update` (see DESIGN.md, Verification strategy).\n")
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%s = %s\n", k, s.m[k])
+	}
+	if err := os.WriteFile(s.path, []byte(b.String()), 0o644); err != nil {
+		t.Fatalf("testkit: writing golden store: %v", err)
+	}
+}

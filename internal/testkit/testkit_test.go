@@ -1,0 +1,236 @@
+package testkit
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"asv/internal/imgproc"
+	"asv/internal/tensor"
+)
+
+func TestSeedDeterministicPerName(t *testing.T) {
+	if os.Getenv(SeedEnv) != "" {
+		t.Skipf("%s set; seed is overridden", SeedEnv)
+	}
+	a, b := Seed(t), Seed(t)
+	if a != b {
+		t.Fatalf("Seed not deterministic: %d vs %d", a, b)
+	}
+	t.Run("sub", func(t *testing.T) {
+		if Seed(t) == a {
+			t.Fatal("subtest seed should differ from parent seed")
+		}
+	})
+}
+
+func TestNewRandReproducible(t *testing.T) {
+	r1 := NewRand(t)
+	r2 := NewRand(t)
+	for i := 0; i < 16; i++ {
+		if a, b := r1.Int63(), r2.Int63(); a != b {
+			t.Fatalf("draw %d differs: %d vs %d", i, a, b)
+		}
+	}
+}
+
+func TestRandTensorShapeAndRange(t *testing.T) {
+	r := NewRand(t)
+	tt := RandTensor(r, 3, 4, 5)
+	if tt.Len() != 60 {
+		t.Fatalf("len %d", tt.Len())
+	}
+	for _, v := range tt.Data() {
+		if v < -1 || v >= 1 {
+			t.Fatalf("value %v out of [-1, 1)", v)
+		}
+	}
+}
+
+func TestRandDimBounds(t *testing.T) {
+	r := NewRand(t)
+	for i := 0; i < 100; i++ {
+		if d := RandDim(r, 2, 5); d < 2 || d > 5 {
+			t.Fatalf("RandDim out of bounds: %d", d)
+		}
+	}
+	if d := RandDim(r, 3, 3); d != 3 {
+		t.Fatalf("degenerate RandDim: %d", d)
+	}
+}
+
+func TestDiffTensorsFirstMismatch(t *testing.T) {
+	a := tensor.New(2, 3)
+	b := tensor.New(2, 3)
+	b.Set(0.5, 1, 2) // flat index 5
+	b.Set(2.0, 1, 0) // flat index 3 — first in row-major order
+	m := DiffTensors(a, b, 1e-9)
+	if m == nil {
+		t.Fatal("diff missed mismatches")
+	}
+	if m.Flat != 3 || m.Index[0] != 1 || m.Index[1] != 0 {
+		t.Fatalf("first mismatch misreported: %+v", m)
+	}
+	if m.Count != 2 || m.MaxAbs != 2.0 || m.MaxFlat != 3 {
+		t.Fatalf("summary misreported: %+v", m)
+	}
+	if !strings.Contains(m.String(), "first mismatch at [1 0]") {
+		t.Fatalf("unhelpful message: %s", m)
+	}
+}
+
+func TestDiffTensorsTolerance(t *testing.T) {
+	a := tensor.New(4)
+	b := a.Clone()
+	b.Data()[2] += 1e-7
+	if m := DiffTensors(a, b, 1e-6); m != nil {
+		t.Fatalf("within-tolerance diff reported: %+v", m)
+	}
+	if m := DiffTensors(a, b, 1e-8); m == nil {
+		t.Fatal("out-of-tolerance diff missed")
+	}
+}
+
+func TestDiffImagesIndexIsYX(t *testing.T) {
+	a := imgproc.NewImage(4, 3)
+	b := imgproc.NewImage(4, 3)
+	b.Set(2, 1, 0.7)
+	m := DiffImages(a, b, 0)
+	if m == nil || m.Index[0] != 1 || m.Index[1] != 2 {
+		t.Fatalf("image index misreported: %+v", m)
+	}
+}
+
+func TestDiffShapeMismatch(t *testing.T) {
+	if m := DiffTensors(tensor.New(2), tensor.New(3), 0); m == nil || m.Count != -1 {
+		t.Fatalf("shape mismatch not flagged: %+v", m)
+	}
+	if m := DiffImages(imgproc.NewImage(2, 2), imgproc.NewImage(2, 3), 0); m == nil || m.Count != -1 {
+		t.Fatalf("image size mismatch not flagged: %+v", m)
+	}
+}
+
+func TestChecksumStableAndSensitive(t *testing.T) {
+	v := []float32{1, 2, 3}
+	if Checksum(v) != Checksum([]float32{1, 2, 3}) {
+		t.Fatal("checksum not deterministic")
+	}
+	if Checksum(v) == Checksum([]float32{1, 2, 4}) {
+		t.Fatal("checksum insensitive to value change")
+	}
+	if len(Checksum(v)) != 16 {
+		t.Fatalf("checksum length %d", len(Checksum(v)))
+	}
+	// Negative zero canonicalizes.
+	var negZero float32
+	negZero = -negZero
+	if Checksum([]float32{negZero}) != Checksum([]float32{0}) {
+		t.Fatal("-0 and +0 checksum differently")
+	}
+}
+
+func TestChecksumImageIncludesShape(t *testing.T) {
+	a := imgproc.NewImage(2, 3)
+	b := imgproc.NewImage(3, 2)
+	if ChecksumImage(a) == ChecksumImage(b) {
+		t.Fatal("transposed shapes share a checksum")
+	}
+	if ChecksumTensor(tensor.New(2, 3)) == ChecksumTensor(tensor.New(3, 2)) {
+		t.Fatal("transposed tensor shapes share a checksum")
+	}
+}
+
+// fakeT captures failures instead of aborting, so the Store error paths can
+// be exercised.
+type fakeT struct {
+	testing.TB
+	failed bool
+	msgs   []string
+}
+
+func (f *fakeT) Helper()                           {}
+func (f *fakeT) Errorf(format string, args ...any) { f.failed = true; f.msgs = append(f.msgs, format) }
+func (f *fakeT) Fatalf(format string, args ...any) {
+	f.failed = true
+	f.msgs = append(f.msgs, format)
+	panic("fakeT.Fatalf")
+}
+
+func TestGoldenStoreRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.txt")
+	if err := os.WriteFile(path, []byte("# comment\n\nalpha = 123\nbeta = cafe\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	s := OpenStore(t, path)
+	s.Check(t, "alpha", "123")
+	s.Check(t, "beta", "cafe")
+
+	ft := &fakeT{}
+	s.Check(ft, "alpha", "456")
+	if !ft.failed {
+		t.Fatal("drifted value accepted")
+	}
+	ft = &fakeT{}
+	s.Check(ft, "gamma", "789")
+	if !ft.failed {
+		t.Fatal("missing key accepted")
+	}
+}
+
+func TestGoldenStoreUpdateWritesSorted(t *testing.T) {
+	if Update() {
+		t.Skip("running under -update")
+	}
+	path := filepath.Join(t.TempDir(), "sub", "golden.txt")
+	*updateGoldens = true
+	defer func() { *updateGoldens = false }()
+
+	s := OpenStore(t, path) // missing file OK under -update
+	s.Check(t, "zz", "2")
+	s.Check(t, "aa", "1")
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := string(raw)
+	if !strings.Contains(got, "aa = 1\nzz = 2\n") {
+		t.Fatalf("store not sorted/flushed:\n%s", got)
+	}
+
+	// The rewritten store must read back cleanly.
+	*updateGoldens = false
+	s2 := OpenStore(t, path)
+	s2.Check(t, "aa", "1")
+	s2.Check(t, "zz", "2")
+}
+
+func TestGoldenStoreMalformedLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "golden.txt")
+	if err := os.WriteFile(path, []byte("not a pair\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ft := &fakeT{}
+	func() {
+		defer func() { recover() }()
+		OpenStore(ft, path)
+	}()
+	if !ft.failed {
+		t.Fatal("malformed store accepted")
+	}
+}
+
+func TestGoldenStoreMissingFileFailsWithoutUpdate(t *testing.T) {
+	if Update() {
+		t.Skip("running under -update")
+	}
+	ft := &fakeT{}
+	func() {
+		defer func() { recover() }()
+		OpenStore(ft, filepath.Join(t.TempDir(), "nope.txt"))
+	}()
+	if !ft.failed {
+		t.Fatal("missing store accepted without -update")
+	}
+}
