@@ -1,6 +1,6 @@
 # Developer entry points. `make check` mirrors what CI runs.
 
-RACE_PKGS := ./internal/core ./internal/flow ./internal/pipeline ./internal/par ./internal/stereo ./internal/imgproc ./internal/metrics
+RACE_PKGS := ./internal/core ./internal/flow ./internal/pipeline ./internal/par ./internal/stereo ./internal/imgproc ./internal/metrics ./internal/serve
 
 # Fuzz targets exercised by fuzz-smoke, as package:Target pairs.
 FUZZ_TARGETS := \
@@ -13,7 +13,7 @@ FUZZ_TARGETS := \
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json fmt fmt-check vet check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-smoke fmt fmt-check vet check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -30,6 +30,16 @@ bench:
 # Regenerate BENCH_pipeline.json (serial vs streaming-runtime throughput).
 bench-json:
 	go run ./cmd/asvbench -exp pipeline -json BENCH_pipeline.json
+
+# Regenerate BENCH_serve.json (depth-serving latency + backpressure).
+serve-bench-json:
+	go run ./cmd/asvbench -exp serve -json BENCH_serve.json
+
+# End-to-end smoke of the serving layer: boot asvserve on a random port,
+# push ~50 requests through asvload, assert latency was reported and no
+# request failed server-side, then drain via SIGTERM.
+serve-smoke:
+	./scripts/serve_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -59,4 +69,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet fmt-check test race bench fuzz-smoke cover
+check: build vet fmt-check test race bench fuzz-smoke serve-smoke cover

@@ -26,7 +26,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,sec71,sec33,pipeline,all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,sec71,sec33,pipeline,serve,all)")
 	scale := flag.String("scale", "quick", "dataset scale for accuracy experiments (quick|full)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	flag.StringVar(&jsonPath, "json", "", "with -exp pipeline: also write the measurements to this JSON file")
@@ -42,6 +42,7 @@ func main() {
 			fmt.Println(l)
 		}
 		fmt.Println("pipeline   serial vs concurrent streaming-runtime throughput (-json writes BENCH_pipeline.json)")
+		fmt.Println("serve      depth-serving latency percentiles + backpressure (-json writes BENCH_serve.json)")
 		return
 	}
 
@@ -73,6 +74,7 @@ func main() {
 		"ablation-key":   ablationKey,
 		"ablation-order": ablationOrder,
 		"pipeline":       func(asv.ExpScale) { pipelineBench() },
+		"serve":          func(asv.ExpScale) { serveBench() },
 	}
 	order := []string{"fig1", "fig3", "fig4", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "sec71", "sec33",
@@ -321,6 +323,55 @@ func pipelineBench() {
 		CPUsAvailable: runtime.NumCPU(),
 		GoMaxProcs:    maxCores,
 		Points:        points,
+	}
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
+}
+
+// serveBench measures the depth-serving layer over real loopback HTTP: a
+// paced normal phase for latency percentiles, then an overload phase
+// against a deliberately tiny admission queue to observe backpressure.
+// ASV_SMOKE=1 shrinks the run for CI.
+func serveBench() {
+	bc := asv.ServeBenchConfig{W: 128, H: 80, PW: 4, Sessions: 4, Frames: 16, QPS: 40}
+	if os.Getenv("ASV_SMOKE") != "" {
+		bc = asv.ServeBenchConfig{W: 64, H: 48, PW: 4, Sessions: 2, Frames: 6, QPS: 30}
+	}
+	doc, err := asv.MeasureServeLoad(bc)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "serve bench:", err)
+		os.Exit(1)
+	}
+
+	row := func(name string, r asv.ServeLoadReport) []string {
+		return []string{name, fmt.Sprintf("%d", r.Requests), fmt.Sprintf("%d", r.OK),
+			fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.Status5xx),
+			fmt.Sprintf("%.1f", r.P50Ms), fmt.Sprintf("%.1f", r.P95Ms),
+			fmt.Sprintf("%.1f", r.P99Ms), fmt.Sprintf("%.1f", r.AchievedTP)}
+	}
+	table(fmt.Sprintf("Depth serving: %d sessions, %dx%d, PW-%d", doc.Sessions, doc.W, doc.H, doc.PW),
+		[]string{"phase", "req", "ok", "429", "5xx", "p50-ms", "p95-ms", "p99-ms", "req/s"},
+		[][]string{row("normal", doc.Normal), row("overload", doc.Overload)})
+
+	if doc.Normal.Status5xx > 0 || doc.Overload.Status5xx > 0 {
+		fmt.Fprintln(os.Stderr, "serve bench: observed 5xx responses")
+		os.Exit(1)
+	}
+	if doc.Overload.Rejected == 0 {
+		fmt.Fprintln(os.Stderr, "serve bench: overload phase saw no 429 backpressure")
+		os.Exit(1)
+	}
+
+	if jsonPath == "" {
+		return
 	}
 	buf, err := json.MarshalIndent(doc, "", "  ")
 	if err != nil {

@@ -1,0 +1,83 @@
+// Command asvload generates load against a running asvserve instance: it
+// opens concurrent sessions, replays synthetic stereo streams at a target
+// aggregate QPS, and reports latency percentiles plus the outcome counts
+// (OK / 429 backpressure / errors).
+//
+// Usage:
+//
+//	asvload -addr http://127.0.0.1:8080 -sessions 4 -frames 25 -qps 40
+//	asvload -addr http://127.0.0.1:8080 -upload          # ship PGM bytes
+//	asvload -addr http://127.0.0.1:8080 -json            # machine output
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"asv"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "asvload:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("asvload", flag.ContinueOnError)
+	fs.SetOutput(out)
+	addr := fs.String("addr", "http://127.0.0.1:8080", "base URL of the asvserve instance")
+	sessions := fs.Int("sessions", 4, "concurrent sessions")
+	frames := fs.Int("frames", 12, "frames per session")
+	qps := fs.Float64("qps", 0, "aggregate target request rate (0 = as fast as possible)")
+	width := fs.Int("w", 96, "frame width")
+	height := fs.Int("h", 64, "frame height")
+	pw := fs.Int("pw", 4, "propagation window")
+	preset := fs.String("preset", "sceneflow", "synthetic scene preset (sceneflow|kitti)")
+	seed := fs.Int64("seed", 7, "scene seed")
+	upload := fs.Bool("upload", false, "ship PGM frames in the request body instead of server-side presets")
+	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
+	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	rep, err := asv.RunServeLoad(asv.ServeLoadConfig{
+		BaseURL:  *addr,
+		Sessions: *sessions,
+		Frames:   *frames,
+		QPS:      *qps,
+		W:        *width,
+		H:        *height,
+		PW:       *pw,
+		Preset:   *preset,
+		Seed:     *seed,
+		Upload:   *upload,
+		Timeout:  *timeout,
+	})
+	if err != nil {
+		return err
+	}
+
+	if *asJSON {
+		buf, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, string(buf))
+		return nil
+	}
+
+	fmt.Fprintf(out, "asvload: %d requests in %.0f ms (%.1f req/s achieved)\n",
+		rep.Requests, rep.DurationMs, rep.AchievedTP)
+	fmt.Fprintf(out, "  ok %d (key %d, propagated %d)  429 %d  4xx %d  5xx %d  transport %d\n",
+		rep.OK, rep.KeyFrames, rep.NonKey, rep.Rejected, rep.Status4xx, rep.Status5xx, rep.Transport)
+	fmt.Fprintf(out, "  latency ms: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
+		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
+	return nil
+}

@@ -139,6 +139,18 @@ func New(matcher KeyMatcher, cfg Config) *Pipeline {
 	return &Pipeline{cfg: cfg, matcher: matcher}
 }
 
+// Config returns the pipeline's (validated) configuration.
+func (p *Pipeline) Config() Config { return p.cfg }
+
+// PrevFrames returns the previous frame's left and right images — the
+// reference inputs a motion estimator needs to compute flow to the current
+// frame — or nil before the first key frame. External drivers (the
+// streaming runtime, the serving layer) use it to run flow estimation
+// outside the pipeline and commit via ProcessNonKeyWith.
+func (p *Pipeline) PrevFrames() (left, right *imgproc.Image) {
+	return p.prevLeft, p.prevRight
+}
+
 // Reset clears the temporal state, forcing the next frame to be a key frame.
 func (p *Pipeline) Reset() {
 	p.frameIdx = 0

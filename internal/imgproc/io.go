@@ -25,11 +25,37 @@ import (
 // of float32) is far above any stereo dataset frame.
 const maxReadPixels = 1 << 26
 
-// checkReadDims validates header-supplied dimensions. The per-dimension
-// bound keeps w*h from overflowing before the product test.
-func checkReadDims(format string, w, h int) error {
-	if w <= 0 || h <= 0 || w > maxReadPixels || h > maxReadPixels || w*h > maxReadPixels {
+// MaxDecodePixels is the default pixel-count cap applied by ReadPGM and
+// ReadPFM. Network-facing callers (the serving layer) pass a tighter,
+// configurable cap through ReadPGMLimit/ReadPFMLimit.
+const MaxDecodePixels = maxReadPixels
+
+// TooLargeError reports an image whose header-declared size exceeds the
+// decoder's pixel budget. It is a distinct type so serving code can map it
+// to 413 Request Entity Too Large instead of a generic decode failure.
+type TooLargeError struct {
+	Format    string // "PGM" or "PFM"
+	W, H      int    // header-declared dimensions
+	MaxPixels int    // the cap that was exceeded
+}
+
+func (e *TooLargeError) Error() string {
+	return fmt.Sprintf("imgproc: %s image %dx%d exceeds the %d-pixel decode limit",
+		e.Format, e.W, e.H, e.MaxPixels)
+}
+
+// checkReadDims validates header-supplied dimensions against maxPixels. The
+// per-dimension bound keeps w*h from overflowing before the product test;
+// oversize-but-plausible headers get the typed TooLargeError.
+func checkReadDims(format string, w, h, maxPixels int) error {
+	if maxPixels <= 0 || maxPixels > maxReadPixels {
+		maxPixels = maxReadPixels
+	}
+	if w <= 0 || h <= 0 {
 		return fmt.Errorf("imgproc: unreasonable %s dimensions %dx%d", format, w, h)
+	}
+	if w > maxPixels || h > maxPixels || w*h > maxPixels {
+		return &TooLargeError{Format: format, W: w, H: h, MaxPixels: maxPixels}
 	}
 	return nil
 }
@@ -79,8 +105,15 @@ func WritePGM(w io.Writer, im *Image) error {
 	return bw.Flush()
 }
 
-// ReadPGM reads a binary 8- or 16-bit PGM into an image scaled to [0, 1].
-func ReadPGM(r io.Reader) (*Image, error) {
+// ReadPGM reads a binary 8- or 16-bit PGM into an image scaled to [0, 1],
+// with the default MaxDecodePixels size cap.
+func ReadPGM(r io.Reader) (*Image, error) { return ReadPGMLimit(r, MaxDecodePixels) }
+
+// ReadPGMLimit is ReadPGM with a caller-supplied pixel-count cap
+// (maxPixels <= 0 selects the default). Headers declaring more than
+// maxPixels pixels fail with a *TooLargeError before any pixel buffer is
+// allocated, so a hostile upload cannot force a large allocation.
+func ReadPGMLimit(r io.Reader, maxPixels int) (*Image, error) {
 	br := bufio.NewReader(r)
 	var magic string
 	if _, err := fmt.Fscan(br, &magic); err != nil {
@@ -96,7 +129,7 @@ func ReadPGM(r io.Reader) (*Image, error) {
 	if maxv <= 0 || maxv > 65535 {
 		return nil, fmt.Errorf("imgproc: bad PGM header %dx%d max %d", w, h, maxv)
 	}
-	if err := checkReadDims("PGM", w, h); err != nil {
+	if err := checkReadDims("PGM", w, h, maxPixels); err != nil {
 		return nil, err
 	}
 	if err := expectSeparator(br, "PGM"); err != nil {
@@ -145,8 +178,14 @@ func WritePFM(w io.Writer, im *Image) error {
 	return bw.Flush()
 }
 
-// ReadPFM reads a single-channel PFM.
-func ReadPFM(r io.Reader) (*Image, error) {
+// ReadPFM reads a single-channel PFM, with the default MaxDecodePixels size
+// cap.
+func ReadPFM(r io.Reader) (*Image, error) { return ReadPFMLimit(r, MaxDecodePixels) }
+
+// ReadPFMLimit is ReadPFM with a caller-supplied pixel-count cap
+// (maxPixels <= 0 selects the default); oversize headers fail with a
+// *TooLargeError before allocation.
+func ReadPFMLimit(r io.Reader, maxPixels int) (*Image, error) {
 	br := bufio.NewReader(r)
 	var magic string
 	if _, err := fmt.Fscan(br, &magic); err != nil {
@@ -163,7 +202,7 @@ func ReadPFM(r io.Reader) (*Image, error) {
 	if scale == 0 {
 		return nil, fmt.Errorf("imgproc: bad PFM header %dx%d scale %v", w, h, scale)
 	}
-	if err := checkReadDims("PFM", w, h); err != nil {
+	if err := checkReadDims("PFM", w, h, maxPixels); err != nil {
 		return nil, err
 	}
 	if err := expectSeparator(br, "PFM"); err != nil {

@@ -2,6 +2,7 @@ package imgproc
 
 import (
 	"bytes"
+	"errors"
 	"math"
 	"path/filepath"
 	"strings"
@@ -149,5 +150,61 @@ func TestQuickPFMIdentity(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The serving path decodes attacker-supplied bytes with a tighter,
+// configurable cap; the cap must fire before allocation and be
+// distinguishable (by type) from a malformed header.
+func TestReadLimitTypedError(t *testing.T) {
+	im := NewImage(12, 9)
+	var pgm, pfm bytes.Buffer
+	if err := WritePGM(&pgm, im); err != nil {
+		t.Fatal(err)
+	}
+	if err := WritePFM(&pfm, im); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		read func(max int) error
+	}{
+		{"PGM", func(max int) error {
+			_, err := ReadPGMLimit(bytes.NewReader(pgm.Bytes()), max)
+			return err
+		}},
+		{"PFM", func(max int) error {
+			_, err := ReadPFMLimit(bytes.NewReader(pfm.Bytes()), max)
+			return err
+		}},
+	}
+	for _, c := range cases {
+		// Under the cap: decodes fine.
+		if err := c.read(12 * 9); err != nil {
+			t.Fatalf("%s at exact cap: %v", c.name, err)
+		}
+		// Over the cap: typed error naming the cap.
+		err := c.read(12*9 - 1)
+		var tle *TooLargeError
+		if !errors.As(err, &tle) {
+			t.Fatalf("%s over cap: got %v, want *TooLargeError", c.name, err)
+		}
+		if tle.W != 12 || tle.H != 9 || tle.MaxPixels != 12*9-1 || tle.Format != c.name {
+			t.Fatalf("%s error fields: %+v", c.name, tle)
+		}
+		// Cap <= 0 selects the permissive default.
+		if err := c.read(0); err != nil {
+			t.Fatalf("%s with default cap: %v", c.name, err)
+		}
+	}
+
+	// Malformed (non-positive) dimensions stay a plain error, not a
+	// TooLargeError: they indicate a broken file, not a big one.
+	bad := strings.NewReader("P5\n0 5\n255\n")
+	_, err := ReadPGMLimit(bad, 1<<20)
+	var tle *TooLargeError
+	if err == nil || errors.As(err, &tle) {
+		t.Fatalf("zero-width PGM: got %v, want untyped parse error", err)
 	}
 }

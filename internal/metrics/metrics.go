@@ -9,6 +9,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"math/bits"
 	"runtime"
@@ -221,6 +222,14 @@ func (r *Registry) Alloc() AllocStats {
 // Snapshot returns an expvar-style view of the registry that marshals
 // directly to JSON: uptime, per-stage counters/latencies and allocation
 // statistics.
+//
+// The field names are a stable wire format shared by the serving layer's
+// /metrics endpoint and asvbench's BENCH_*.json artifacts — external
+// dashboards key off them. Per-stage keys: count, total_ms, mean_ms,
+// min_ms, max_ms, p50_ms, p95_ms, p99_ms. Top level: uptime_ms, stages,
+// alloc{alloc_mb, num_gc, pool_gets, pool_hits, pool_puts,
+// pool_hit_rate_pc}. Add fields if needed; never rename or remove
+// (TestSnapshotStableSchema enforces this).
 func (r *Registry) Snapshot() map[string]any {
 	stages := map[string]any{}
 	for _, s := range r.stagesInOrder() {
@@ -231,6 +240,7 @@ func (r *Registry) Snapshot() map[string]any {
 			"min_ms":   ms(s.Min()),
 			"max_ms":   ms(s.Max()),
 			"p50_ms":   ms(s.Quantile(0.50)),
+			"p95_ms":   ms(s.Quantile(0.95)),
 			"p99_ms":   ms(s.Quantile(0.99)),
 		}
 	}
@@ -247,6 +257,18 @@ func (r *Registry) Snapshot() map[string]any {
 			"pool_hit_rate_pc": round2(a.HitRatePc),
 		},
 	}
+}
+
+// SnapshotJSON renders Snapshot as indented JSON, the exact payload the
+// serving layer's /metrics endpoint returns.
+func (r *Registry) SnapshotJSON() []byte {
+	buf, err := json.MarshalIndent(r.Snapshot(), "", "  ")
+	if err != nil {
+		// Snapshot only contains numbers, strings and maps; Marshal cannot
+		// fail on it.
+		panic("metrics: snapshot marshal: " + err.Error())
+	}
+	return append(buf, '\n')
 }
 
 // Dump renders the registry as a fixed-width text table.

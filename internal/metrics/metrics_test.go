@@ -117,3 +117,96 @@ func TestDumpListsStagesAndAlloc(t *testing.T) {
 		t.Fatalf("stage order not preserved:\n%s", out)
 	}
 }
+
+// The snapshot field names are a wire format shared by the /metrics
+// endpoint and the BENCH_*.json artifacts; renaming one silently breaks
+// external consumers, so the schema is pinned here.
+func TestSnapshotStableSchema(t *testing.T) {
+	r := NewRegistry()
+	r.Stage("frame").Observe(2 * time.Millisecond)
+	snap := r.Snapshot()
+
+	for _, key := range []string{"uptime_ms", "stages", "alloc"} {
+		if _, ok := snap[key]; !ok {
+			t.Fatalf("snapshot missing top-level key %q", key)
+		}
+	}
+	stage, ok := snap["stages"].(map[string]any)["frame"].(map[string]any)
+	if !ok {
+		t.Fatalf("snapshot stages malformed: %#v", snap["stages"])
+	}
+	stageKeys := []string{"count", "total_ms", "mean_ms", "min_ms", "max_ms",
+		"p50_ms", "p95_ms", "p99_ms"}
+	for _, key := range stageKeys {
+		if _, ok := stage[key]; !ok {
+			t.Fatalf("stage snapshot missing key %q", key)
+		}
+	}
+	if len(stage) != len(stageKeys) {
+		t.Fatalf("stage snapshot grew unexpected keys: %#v (update the pinned schema deliberately)", stage)
+	}
+	alloc := snap["alloc"].(map[string]any)
+	for _, key := range []string{"alloc_mb", "num_gc", "pool_gets", "pool_hits",
+		"pool_puts", "pool_hit_rate_pc"} {
+		if _, ok := alloc[key]; !ok {
+			t.Fatalf("alloc snapshot missing key %q", key)
+		}
+	}
+
+	// SnapshotJSON is valid JSON of the same map.
+	var decoded map[string]any
+	if err := json.Unmarshal(r.SnapshotJSON(), &decoded); err != nil {
+		t.Fatalf("SnapshotJSON not valid JSON: %v", err)
+	}
+	if _, ok := decoded["stages"]; !ok {
+		t.Fatal("SnapshotJSON missing stages")
+	}
+}
+
+// Snapshots must be safe (and sane) while every pipeline goroutine is still
+// observing — the /metrics endpoint runs against a live server. Run with
+// -race in CI.
+func TestSnapshotDuringConcurrentObserve(t *testing.T) {
+	r := NewRegistry()
+	const goroutines = 8
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			name := []string{"flow", "keymatch", "frame"}[g%3]
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				r.Stage(name).Observe(time.Duration(i%100) * time.Microsecond)
+			}
+		}(g)
+	}
+	for i := 0; i < 50; i++ {
+		snap := r.Snapshot()
+		if _, err := json.Marshal(snap); err != nil {
+			t.Errorf("snapshot %d not marshalable: %v", i, err)
+		}
+		_ = r.SnapshotJSON()
+	}
+	close(stop)
+	wg.Wait()
+
+	// After quiescence the counters must be exactly consistent.
+	var total int64
+	for _, name := range r.StageNames() {
+		total += r.Stage(name).Count()
+	}
+	snap := r.Snapshot()
+	var snapTotal int64
+	for _, v := range snap["stages"].(map[string]any) {
+		snapTotal += v.(map[string]any)["count"].(int64)
+	}
+	if total != snapTotal {
+		t.Fatalf("post-quiescence snapshot count %d != live count %d", snapTotal, total)
+	}
+}

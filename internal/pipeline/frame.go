@@ -1,0 +1,56 @@
+package pipeline
+
+import (
+	"sync"
+	"time"
+
+	"asv/internal/core"
+	"asv/internal/flow"
+	"asv/internal/imgproc"
+	"asv/internal/metrics"
+)
+
+// ProcessFrame runs one stereo pair through p, exploiting the same
+// intra-frame parallelism as the streaming runtime: on non-key frames the
+// left- and right-stream motion fields are estimated concurrently (they are
+// independent by construction), then committed with ProcessNonKeyWith. Key
+// frames run matcher (which must not be nil when the schedule selects one).
+// Stage latencies are recorded under the runtime's standard names —
+// "keymatch", "flow", "propagate+refine" and "frame" — when m is non-nil.
+//
+// The result is bit-identical to p.Process(left, right): the same kernels
+// run on the same inputs, only on more goroutines. Unlike Stream, it works
+// for motion-adaptive schedules too, because the key decision is made
+// frame-by-frame via NextIsKey. Like every core.Pipeline entry point it
+// must be called from one goroutine at a time per pipeline; the serving
+// layer serializes calls per session.
+func ProcessFrame(p *core.Pipeline, matcher core.KeyMatcher, left, right *imgproc.Image, m *metrics.Registry) core.Result {
+	t0 := time.Now()
+	var res core.Result
+	if p.NextIsKey() {
+		if matcher == nil {
+			panic("pipeline: key frame reached with nil KeyMatcher")
+		}
+		disp := matcher.Match(left, right)
+		observe(m, "keymatch", time.Since(t0))
+		res = p.ProcessKey(left, right, disp, matcher.MACs(left.W, left.H))
+	} else {
+		me := p.Config().MotionSource()
+		prevLeft, prevRight := p.PrevFrames()
+		var fr flow.Field
+		var inner sync.WaitGroup
+		inner.Add(1)
+		go func() {
+			defer inner.Done()
+			fr = me.Estimate(prevRight, right)
+		}()
+		fl := me.Estimate(prevLeft, left)
+		inner.Wait()
+		observe(m, "flow", time.Since(t0))
+		t1 := time.Now()
+		res = p.ProcessNonKeyWith(left, right, fl, fr)
+		observe(m, "propagate+refine", time.Since(t1))
+	}
+	observe(m, "frame", time.Since(t0))
+	return res
+}

@@ -112,7 +112,7 @@ func Stream(matcher core.KeyMatcher, cfg core.Config, frames <-chan Frame, opt O
 	p := core.New(matcher, cfg) // validates cfg
 
 	if cfg.Adaptive != nil {
-		go streamSerial(p, frames, out, opt)
+		go streamSerial(p, matcher, frames, out, opt)
 		return out
 	}
 
@@ -204,15 +204,15 @@ func Stream(matcher core.KeyMatcher, cfg core.Config, frames <-chan Frame, opt O
 	return out
 }
 
-// streamSerial is the fallback for adaptive schedules: plain in-order
-// processing, concurrent only with the consumer.
-func streamSerial(p *core.Pipeline, frames <-chan Frame, out chan<- Result, opt Options) {
+// streamSerial is the fallback for adaptive schedules: in-order processing
+// via ProcessFrame, so the left/right motion fields of each non-key frame
+// are still estimated concurrently even though frames cannot be precomputed
+// ahead of the key-frame decision.
+func streamSerial(p *core.Pipeline, matcher core.KeyMatcher, frames <-chan Frame, out chan<- Result, opt Options) {
 	defer close(out)
 	idx := 0
 	for fr := range frames {
-		t0 := time.Now()
-		res := p.Process(fr.Left, fr.Right)
-		observe(opt.Metrics, "frame", time.Since(t0))
+		res := ProcessFrame(p, matcher, fr.Left, fr.Right, opt.Metrics)
 		out <- Result{Index: idx, Result: res}
 		idx++
 	}

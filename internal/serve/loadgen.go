@@ -1,0 +1,326 @@
+package serve
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"mime/multipart"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"asv/internal/dataset"
+	"asv/internal/imgproc"
+)
+
+// Load generation: replay synthetic stereo streams against a live server at
+// a target aggregate QPS and report latency percentiles. cmd/asvload wraps
+// this for the command line; asvbench -exp serve runs it in-process against
+// a freshly started server to produce BENCH_serve.json.
+
+// LoadConfig parameterizes one load run.
+type LoadConfig struct {
+	BaseURL  string  `json:"base_url"` // e.g. "http://127.0.0.1:8080"
+	Sessions int     `json:"sessions"` // concurrent sessions to drive
+	Frames   int     `json:"frames"`   // frames submitted per session
+	QPS      float64 `json:"qps"`      // aggregate target rate (0 = as fast as possible)
+	W        int     `json:"w"`
+	H        int     `json:"h"`
+	PW       int     `json:"pw"`
+	Preset   string  `json:"preset"` // "sceneflow" or "kitti"
+	Seed     int64   `json:"seed"`
+	// Upload ships PGM-encoded frames in the request body instead of using
+	// server-side preset sessions — exercises the decode path at the price
+	// of client-side encoding.
+	Upload bool `json:"upload"`
+	// Timeout bounds each HTTP request.
+	Timeout time.Duration `json:"-"`
+}
+
+func (c LoadConfig) withDefaults() LoadConfig {
+	if c.Sessions < 1 {
+		c.Sessions = 4
+	}
+	if c.Frames < 1 {
+		c.Frames = 12
+	}
+	if c.W < 16 {
+		c.W = 96
+	}
+	if c.H < 16 {
+		c.H = 64
+	}
+	if c.PW < 1 {
+		c.PW = 4
+	}
+	if c.Preset == "" {
+		c.Preset = "sceneflow"
+	}
+	if c.Seed == 0 {
+		c.Seed = 7
+	}
+	if c.Timeout <= 0 {
+		c.Timeout = 30 * time.Second
+	}
+	return c
+}
+
+// LoadReport aggregates one run. Latency percentiles cover successful frame
+// submissions only; error counts cover everything else.
+type LoadReport struct {
+	Requests   int     `json:"requests"`
+	OK         int     `json:"ok"`
+	Rejected   int     `json:"rejected_429"`
+	Status4xx  int     `json:"status_4xx"` // non-429 client errors
+	Status5xx  int     `json:"status_5xx"`
+	Transport  int     `json:"transport_errors"`
+	KeyFrames  int     `json:"key_frames"`
+	NonKey     int     `json:"non_key_frames"`
+	DurationMs float64 `json:"duration_ms"`
+	AchievedTP float64 `json:"achieved_rps"` // completed requests / duration
+	P50Ms      float64 `json:"p50_ms"`
+	P95Ms      float64 `json:"p95_ms"`
+	P99Ms      float64 `json:"p99_ms"`
+	MaxMs      float64 `json:"max_ms"`
+}
+
+// RunLoad drives the server at cfg.BaseURL. Each session goroutine submits
+// its frames strictly in order (mirroring a real camera client); global
+// pacing comes from a shared token bucket at cfg.QPS. The first error that
+// prevents the run from even starting (e.g. session creation refused) is
+// returned; per-request failures are tallied in the report instead.
+func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	cfg = cfg.withDefaults()
+	client := &http.Client{Timeout: cfg.Timeout}
+
+	// Pre-encode upload bodies once per session so client-side encoding
+	// cost does not pollute the measured latencies.
+	var uploads [][]framePayload
+	if cfg.Upload {
+		uploads = make([][]framePayload, cfg.Sessions)
+		for i := range uploads {
+			frames, err := encodeFrames(cfg, cfg.Seed+int64(i))
+			if err != nil {
+				return LoadReport{}, fmt.Errorf("encoding upload frames: %w", err)
+			}
+			uploads[i] = frames
+		}
+	}
+
+	ids := make([]string, cfg.Sessions)
+	for i := range ids {
+		id, err := createSession(client, cfg, i)
+		if err != nil {
+			return LoadReport{}, err
+		}
+		ids[i] = id
+	}
+
+	// Token bucket: one token per request, refilled at QPS. Buffer a small
+	// burst so pacing jitter does not serialize the workers.
+	tokens := make(chan struct{}, cfg.Sessions)
+	stopPacer := make(chan struct{})
+	if cfg.QPS > 0 {
+		go func() {
+			t := time.NewTicker(time.Duration(float64(time.Second) / cfg.QPS))
+			defer t.Stop()
+			for {
+				select {
+				case <-stopPacer:
+					return
+				case <-t.C:
+					select {
+					case tokens <- struct{}{}:
+					default:
+					}
+				}
+			}
+		}()
+	}
+
+	type sample struct {
+		ms    float64
+		isKey bool
+	}
+	var mu sync.Mutex
+	var samples []sample
+	rep := LoadReport{}
+
+	record := func(status int, d time.Duration, isKey bool, transportErr bool) {
+		mu.Lock()
+		defer mu.Unlock()
+		rep.Requests++
+		switch {
+		case transportErr:
+			rep.Transport++
+		case status == http.StatusOK:
+			rep.OK++
+			samples = append(samples, sample{float64(d) / 1e6, isKey})
+			if isKey {
+				rep.KeyFrames++
+			} else {
+				rep.NonKey++
+			}
+		case status == http.StatusTooManyRequests:
+			rep.Rejected++
+		case status >= 500:
+			rep.Status5xx++
+		default:
+			rep.Status4xx++
+		}
+	}
+
+	t0 := time.Now()
+	var wg sync.WaitGroup
+	for i := 0; i < cfg.Sessions; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			for f := 0; f < cfg.Frames; f++ {
+				if cfg.QPS > 0 {
+					<-tokens
+				}
+				var body io.Reader
+				contentType := ""
+				if cfg.Upload {
+					p := uploads[i][f%len(uploads[i])]
+					body = bytes.NewReader(p.body)
+					contentType = p.contentType
+				}
+				tReq := time.Now()
+				status, isKey, err := submitFrame(client, cfg.BaseURL, ids[i], body, contentType)
+				if err != nil {
+					record(0, 0, false, true)
+					continue
+				}
+				record(status, time.Since(tReq), isKey, false)
+				if status == http.StatusTooManyRequests {
+					// Honor the backpressure hint, scaled down so a smoke
+					// run is not dominated by sleeps.
+					time.Sleep(20 * time.Millisecond)
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+	close(stopPacer)
+
+	rep.DurationMs = float64(time.Since(t0)) / 1e6
+	if rep.DurationMs > 0 {
+		rep.AchievedTP = float64(rep.Requests) / (rep.DurationMs / 1e3)
+	}
+	sort.Slice(samples, func(a, b int) bool { return samples[a].ms < samples[b].ms })
+	if n := len(samples); n > 0 {
+		pct := func(q float64) float64 {
+			idx := int(q*float64(n)) - 1
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= n {
+				idx = n - 1
+			}
+			return samples[idx].ms
+		}
+		rep.P50Ms = pct(0.50)
+		rep.P95Ms = pct(0.95)
+		rep.P99Ms = pct(0.99)
+		rep.MaxMs = samples[n-1].ms
+	}
+	return rep, nil
+}
+
+// createSession opens one serving session; preset mode asks the server to
+// synthesize frames, upload mode leaves the session empty.
+func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
+	req := CreateSessionRequest{PW: cfg.PW}
+	if !cfg.Upload {
+		req.Preset = cfg.Preset
+		req.W, req.H = cfg.W, cfg.H
+		req.Frames = cfg.Frames
+		req.Seed = cfg.Seed + int64(i)
+	}
+	buf, _ := json.Marshal(req)
+	resp, err := client.Post(cfg.BaseURL+"/v1/sessions", "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return "", fmt.Errorf("creating session: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusCreated {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		return "", fmt.Errorf("creating session: %s: %s", resp.Status, body)
+	}
+	var info SessionInfo
+	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+		return "", fmt.Errorf("decoding session info: %w", err)
+	}
+	return info.ID, nil
+}
+
+// submitFrame posts one frame and parses just enough of the reply.
+func submitFrame(client *http.Client, baseURL, id string, body io.Reader, contentType string) (status int, isKey bool, err error) {
+	if body == nil {
+		body = bytes.NewReader(nil)
+	}
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions/"+id+"/frames", body)
+	if err != nil {
+		return 0, false, err
+	}
+	if contentType != "" {
+		req.Header.Set("Content-Type", contentType)
+	}
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, false, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusOK {
+		var fr FrameResponse
+		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
+			return resp.StatusCode, false, nil // count as OK; stats only lose key split
+		}
+		return resp.StatusCode, fr.IsKey, nil
+	}
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+	return resp.StatusCode, false, nil
+}
+
+// framePayload is one pre-encoded multipart upload body.
+type framePayload struct {
+	body        []byte
+	contentType string
+}
+
+// encodeFrames renders a synthetic sequence and packs each stereo pair as a
+// multipart PGM upload.
+func encodeFrames(cfg LoadConfig, seed int64) ([]framePayload, error) {
+	scene := dataset.SceneFlowLike(cfg.W, cfg.H, cfg.Frames, seed)[0]
+	if cfg.Preset == "kitti" {
+		scene = dataset.KITTILike(cfg.W, cfg.H, 1, seed)[0]
+		scene.FrameCount = cfg.Frames
+	}
+	seq := dataset.Generate(scene)
+	out := make([]framePayload, 0, len(seq.Frames))
+	for _, fr := range seq.Frames {
+		var buf bytes.Buffer
+		mw := multipart.NewWriter(&buf)
+		for _, part := range []struct {
+			name string
+			im   *imgproc.Image
+		}{{"left", fr.Left}, {"right", fr.Right}} {
+			fw, err := mw.CreateFormFile(part.name, part.name+".pgm")
+			if err != nil {
+				return nil, err
+			}
+			if err := imgproc.WritePGM(fw, part.im); err != nil {
+				return nil, err
+			}
+		}
+		if err := mw.Close(); err != nil {
+			return nil, err
+		}
+		out = append(out, framePayload{body: buf.Bytes(), contentType: mw.FormDataContentType()})
+	}
+	return out, nil
+}

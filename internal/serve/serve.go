@@ -1,0 +1,685 @@
+// Package serve is the stereo depth serving layer: a sessionful HTTP
+// service over the ISM engine. Clients create sessions and POST stereo
+// pairs into them; each session owns a core.Pipeline, so the server runs
+// expensive key-frame matching every PW-th frame and cheap
+// motion-propagated refinement in between — the paper's ISM schedule,
+// driven by request arrival instead of a video file.
+//
+// Around that core sits the production machinery the ROADMAP asks for:
+//
+//   - a bounded admission queue; when it is full the server sheds load
+//     with 429 + Retry-After instead of collapsing;
+//   - a dynamic micro-batcher that coalesces queued frames across sessions
+//     into rounds for the worker pool (at most one frame per session per
+//     round, which also serializes each session's state machine);
+//   - per-session LRU-over-capacity and TTL eviction;
+//   - graceful drain: Close stops admission, finishes every queued frame,
+//     then stops the workers;
+//   - observability: /healthz, a /metrics JSON snapshot built on
+//     internal/metrics, and net/http/pprof behind Config.EnablePprof.
+//
+// See DESIGN.md §6 "Serving architecture".
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asv/internal/core"
+	"asv/internal/dataset"
+	"asv/internal/imgproc"
+	"asv/internal/metrics"
+	"asv/internal/stereo"
+)
+
+// Config tunes the server. The zero value is unusable; start from
+// DefaultConfig.
+type Config struct {
+	// MaxSessions caps the session table; creating one beyond the cap
+	// evicts the least-recently-used idle session.
+	MaxSessions int
+	// SessionTTL evicts sessions idle longer than this (janitor sweep).
+	SessionTTL time.Duration
+	// QueueDepth bounds the admission queue; a full queue returns 429.
+	QueueDepth int
+	// Workers is the frame-processing goroutine pool size.
+	Workers int
+	// BatchSize is the micro-batcher's maximum frames per dispatch round.
+	BatchSize int
+	// BatchWait is how long a partially filled round may wait for more
+	// sessions before it is flushed anyway.
+	BatchWait time.Duration
+	// MaxPixels caps uploaded image sizes at decode time (per image);
+	// oversize uploads get 413 before any pixel buffer is allocated.
+	MaxPixels int
+	// MaxPresetFrames caps the synthetic sequence length a preset session
+	// may request.
+	MaxPresetFrames int
+	// PW is the default propagation window for sessions that do not set
+	// their own.
+	PW int
+	// Pipeline is the ISM configuration template for new sessions (PW is
+	// overridden per session).
+	Pipeline core.Config
+	// Metrics receives per-stage latencies ("queue", "keymatch", "flow",
+	// "propagate+refine", "frame"). Nil disables stage metrics (the
+	// /metrics endpoint then reports counters only).
+	Metrics *metrics.Registry
+	// EnablePprof mounts net/http/pprof under /debug/pprof/.
+	EnablePprof bool
+}
+
+// DefaultConfig returns a serving configuration sized for a small host.
+func DefaultConfig() Config {
+	return Config{
+		MaxSessions:     64,
+		SessionTTL:      5 * time.Minute,
+		QueueDepth:      64,
+		Workers:         4,
+		BatchSize:       8,
+		BatchWait:       2 * time.Millisecond,
+		MaxPixels:       1 << 21, // 2 Mpx per image, ~8 MB of float32
+		MaxPresetFrames: 256,
+		PW:              4,
+		Pipeline:        core.DefaultConfig(),
+		Metrics:         metrics.NewRegistry(),
+	}
+}
+
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.MaxSessions < 1 {
+		c.MaxSessions = d.MaxSessions
+	}
+	if c.SessionTTL <= 0 {
+		c.SessionTTL = d.SessionTTL
+	}
+	if c.QueueDepth < 1 {
+		c.QueueDepth = d.QueueDepth
+	}
+	if c.Workers < 1 {
+		c.Workers = d.Workers
+	}
+	if c.BatchSize < 1 {
+		c.BatchSize = d.BatchSize
+	}
+	if c.BatchWait <= 0 {
+		c.BatchWait = d.BatchWait
+	}
+	if c.MaxPixels < 1 || c.MaxPixels > imgproc.MaxDecodePixels {
+		c.MaxPixels = d.MaxPixels
+	}
+	if c.MaxPresetFrames < 1 {
+		c.MaxPresetFrames = d.MaxPresetFrames
+	}
+	if c.PW < 1 {
+		c.PW = d.PW
+	}
+	if c.Pipeline.PW == 0 {
+		c.Pipeline = d.Pipeline
+	}
+	return c
+}
+
+// Server is the serving subsystem. Create with New, mount via Handler (or
+// start a listener with Start), stop with Close.
+type Server struct {
+	cfg     Config
+	matcher core.KeyMatcher
+	tab     *sessionTable
+	b       *batcher
+	mux     *http.ServeMux
+	httpSrv *http.Server // set by Start; nil when mounted via Handler
+	started time.Time
+
+	janitorStop chan struct{}
+
+	// draining flips once at Close; handlers then refuse new work with 503.
+	// submitWG covers each handler's admission window (the draining
+	// re-check plus the admit send), so Close can wait for stragglers
+	// before closing the admit channel even when the server is mounted via
+	// Handler() and there is no http.Server.Shutdown to lean on.
+	draining atomic.Bool
+	submitWG sync.WaitGroup
+
+	// Counters surfaced by /metrics. accepted counts frames admitted to
+	// the queue; rejected counts 429s; drained503 counts frames refused
+	// because the server was shutting down; completed counts frames whose
+	// processing finished (with or without error).
+	accepted      atomic.Int64
+	rejected      atomic.Int64
+	drained503    atomic.Int64
+	completed     atomic.Int64
+	batches       atomic.Int64
+	batchedFrames atomic.Int64
+	maxBatch      atomic.Int64
+
+	// inflight is the admission gauge: frames admitted but not yet
+	// finished. The batcher drains the admit channel eagerly (it must, to
+	// batch across sessions), so the backpressure bound lives here, not in
+	// the channel capacity.
+	inflight atomic.Int64
+}
+
+// New builds a Server processing frames with matcher (which must tolerate
+// concurrent Match calls; all built-in matchers do).
+func New(matcher core.KeyMatcher, cfg Config) *Server {
+	if matcher == nil {
+		panic("serve: nil KeyMatcher")
+	}
+	s := &Server{
+		cfg:         cfg.withDefaults(),
+		matcher:     matcher,
+		started:     time.Now(),
+		janitorStop: make(chan struct{}),
+	}
+	s.tab = newSessionTable(s.cfg.MaxSessions)
+	s.b = newBatcher(s)
+	s.mux = http.NewServeMux()
+	s.routes()
+	go s.janitor()
+	return s
+}
+
+// Handler returns the root HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Start listens on addr (host:port, port 0 for ephemeral) and serves until
+// Close. It returns the bound address.
+func (s *Server) Start(addr string) (net.Addr, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	srv := &http.Server{Handler: s.mux}
+	s.httpSrv = srv
+	go srv.Serve(ln)
+	return ln.Addr(), nil
+}
+
+// Close drains the server: new frames are refused with 503, every admitted
+// frame is processed to completion, then the batcher and workers stop. The
+// context bounds how long to wait for the HTTP layer to quiesce.
+func (s *Server) Close(ctx context.Context) error {
+	s.draining.Store(true)
+	s.submitWG.Wait() // no handler is inside its admission window anymore
+	close(s.b.admit)  // batcher dispatches the backlog, then stops workers
+	s.b.finished.Wait()
+	close(s.janitorStop)
+	var err error
+	if s.httpSrv != nil {
+		// Every admitted frame has its reply by now, so handlers unwind
+		// promptly; Shutdown just quiesces the HTTP layer.
+		err = s.httpSrv.Shutdown(ctx)
+	}
+	return err
+}
+
+// janitor sweeps expired sessions at SessionTTL/4 cadence.
+func (s *Server) janitor() {
+	period := s.cfg.SessionTTL / 4
+	if period < time.Second {
+		period = time.Second
+	}
+	t := time.NewTicker(period)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.janitorStop:
+			return
+		case <-t.C:
+			s.tab.expire(s.cfg.SessionTTL)
+		}
+	}
+}
+
+func (s *Server) routes() {
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
+	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
+	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.handleSubmitFrame)
+	if s.cfg.EnablePprof {
+		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
+		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
+}
+
+// --- wire types ---------------------------------------------------------
+
+// CreateSessionRequest is the body of POST /v1/sessions. All fields are
+// optional; a preset session synthesizes its own frames server-side.
+type CreateSessionRequest struct {
+	PW int `json:"pw,omitempty"`
+	// Preset selects a synthetic source: "sceneflow" or "kitti". Empty
+	// means the client uploads frames.
+	Preset string `json:"preset,omitempty"`
+	W      int    `json:"w,omitempty"`
+	H      int    `json:"h,omitempty"`
+	Frames int    `json:"frames,omitempty"` // preset sequence length
+	Seed   int64  `json:"seed,omitempty"`
+	// Postprocess enables the 3×3 validity-aware median on non-key frames.
+	Postprocess bool `json:"postprocess,omitempty"`
+}
+
+// SessionInfo is returned by session create/get.
+type SessionInfo struct {
+	ID        string `json:"id"`
+	PW        int    `json:"pw"`
+	Preset    string `json:"preset,omitempty"`
+	W         int    `json:"w,omitempty"`
+	H         int    `json:"h,omitempty"`
+	Frames    int64  `json:"frames"`
+	KeyFrames int64  `json:"key_frames"`
+	IdleMs    int64  `json:"idle_ms"`
+}
+
+// FrameResponse is the JSON reply to a frame submission.
+type FrameResponse struct {
+	Session      string           `json:"session"`
+	Frame        int              `json:"frame"`
+	IsKey        bool             `json:"is_key"`
+	MACs         int64            `json:"macs"`
+	MeanMotionPx float64          `json:"mean_motion_px"`
+	Disparity    stereo.DispStats `json:"disparity"`
+	QueueMs      float64          `json:"queue_ms"`
+	ComputeMs    float64          `json:"compute_ms"`
+}
+
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- handlers -----------------------------------------------------------
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeJSON(w, http.StatusServiceUnavailable, map[string]any{"status": "draining"})
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":    "ok",
+		"uptime_ms": time.Since(s.started).Milliseconds(),
+	})
+}
+
+// handleMetrics serves the live observability snapshot: serving-layer
+// counters plus the shared internal/metrics stage snapshot (the same format
+// asvbench emits), so one dashboard reads both.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	doc := map[string]any{
+		"serve":  s.CountersSnapshot(),
+		"stages": map[string]any{},
+	}
+	if s.cfg.Metrics != nil {
+		doc["stages"] = s.cfg.Metrics.Snapshot()
+	}
+	writeJSON(w, http.StatusOK, doc)
+}
+
+// CountersSnapshot returns the serving-layer counters under stable names
+// (see the metrics package for the schema discipline).
+func (s *Server) CountersSnapshot() map[string]any {
+	var meanBatch float64
+	if n := s.batches.Load(); n > 0 {
+		meanBatch = float64(s.batchedFrames.Load()) / float64(n)
+	}
+	return map[string]any{
+		"sessions_active":   s.tab.len(),
+		"sessions_evicted":  s.tab.evictions.Load(),
+		"frames_accepted":   s.accepted.Load(),
+		"frames_completed":  s.completed.Load(),
+		"rejected_429":      s.rejected.Load(),
+		"drained_503":       s.drained503.Load(),
+		"queue_depth":       s.inflight.Load(),
+		"queue_capacity":    s.cfg.QueueDepth,
+		"batches":           s.batches.Load(),
+		"batch_frames":      s.batchedFrames.Load(),
+		"batch_mean_frames": round2(meanBatch),
+		"batch_max_frames":  s.maxBatch.Load(),
+	}
+}
+
+func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	var req CreateSessionRequest
+	if r.Body != nil {
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<16))
+		if err != nil {
+			writeError(w, http.StatusBadRequest, "reading body: "+err.Error())
+			return
+		}
+		if len(body) > 0 {
+			if err := json.Unmarshal(body, &req); err != nil {
+				writeError(w, http.StatusBadRequest, "parsing body: "+err.Error())
+				return
+			}
+		}
+	}
+	pw := req.PW
+	if pw == 0 {
+		pw = s.cfg.PW
+	}
+	if pw < 1 || pw > 64 {
+		writeError(w, http.StatusBadRequest, fmt.Sprintf("pw %d out of range [1,64]", pw))
+		return
+	}
+
+	cfg := s.cfg.Pipeline
+	cfg.PW = pw
+	cfg.Postprocess = req.Postprocess
+	sess := &session{
+		id:      newSessionID(),
+		pw:      pw,
+		pipe:    core.New(s.matcher, cfg),
+		created: time.Now(),
+	}
+	sess.touch()
+
+	if req.Preset != "" {
+		src, err := s.buildPreset(req)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		sess.preset = src
+	}
+
+	s.tab.add(sess)
+	writeJSON(w, http.StatusCreated, s.info(sess))
+}
+
+// buildPreset validates and generates a synthetic frame source.
+func (s *Server) buildPreset(req CreateSessionRequest) (*presetSource, error) {
+	w, h, frames := req.W, req.H, req.Frames
+	if w == 0 {
+		w = 128
+	}
+	if h == 0 {
+		h = 80
+	}
+	if frames == 0 {
+		frames = 16
+	}
+	if w < 16 || h < 16 || w*h > s.cfg.MaxPixels {
+		return nil, fmt.Errorf("preset size %dx%d out of range (min 16x16, max %d pixels)", w, h, s.cfg.MaxPixels)
+	}
+	if frames < 1 || frames > s.cfg.MaxPresetFrames {
+		return nil, fmt.Errorf("preset frames %d out of range [1,%d]", frames, s.cfg.MaxPresetFrames)
+	}
+	seed := req.Seed
+	if seed == 0 {
+		seed = 7
+	}
+	var cfg dataset.SceneConfig
+	switch req.Preset {
+	case "sceneflow":
+		cfg = dataset.SceneFlowLike(w, h, frames, seed)[0]
+	case "kitti":
+		cfg = dataset.KITTILike(w, h, 1, seed)[0]
+		cfg.FrameCount = frames
+	default:
+		return nil, fmt.Errorf("unknown preset %q (sceneflow|kitti)", req.Preset)
+	}
+	return &presetSource{name: req.Preset, seq: dataset.Generate(cfg)}, nil
+}
+
+func (s *Server) info(sess *session) SessionInfo {
+	w, h := sess.geometry()
+	inf := SessionInfo{
+		ID:        sess.id,
+		PW:        sess.pw,
+		Frames:    sess.frames.Load(),
+		KeyFrames: sess.keyFrames.Load(),
+		IdleMs:    sess.idle().Milliseconds(),
+		W:         w,
+		H:         h,
+	}
+	if sess.preset != nil {
+		inf.Preset = sess.preset.name
+	}
+	return inf
+}
+
+func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
+	sess := s.tab.get(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	writeJSON(w, http.StatusOK, s.info(sess))
+}
+
+func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
+	if !s.tab.remove(r.PathValue("id")) {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+	w.WriteHeader(http.StatusNoContent)
+}
+
+// handleSubmitFrame is the hot path: decode (or synthesize), admit, block
+// for the in-order result, reply. Backpressure and drain both short-circuit
+// before any expensive work.
+func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
+	if s.draining.Load() {
+		s.drained503.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	sess := s.tab.get(r.PathValue("id"))
+	if sess == nil {
+		writeError(w, http.StatusNotFound, "no such session")
+		return
+	}
+
+	it := &workItem{sess: sess, enqueued: time.Now(), reply: make(chan frameReply, 1)}
+	if sess.preset == nil {
+		left, right, err := s.decodePair(r)
+		if err != nil {
+			status := http.StatusBadRequest
+			var tle *imgproc.TooLargeError
+			if errors.As(err, &tle) {
+				status = http.StatusRequestEntityTooLarge
+			}
+			writeError(w, status, err.Error())
+			return
+		}
+		it.left, it.right = left, right
+	}
+
+	// Admission window. The draining re-check after Add closes the race
+	// with Close: either this handler's send is covered by submitWG, or it
+	// observes draining and backs off without touching the channel.
+	s.submitWG.Add(1)
+	if s.draining.Load() {
+		s.submitWG.Done()
+		s.drained503.Add(1)
+		writeError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	// At most QueueDepth frames may be in the system (queued or
+	// processing); beyond that the server sheds load with 429 +
+	// Retry-After instead of queueing unboundedly.
+	if s.inflight.Add(1) > int64(s.cfg.QueueDepth) {
+		s.inflight.Add(-1)
+		s.submitWG.Done()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusTooManyRequests, "admission queue full")
+		return
+	}
+	sess.pendingFrames.Add(1)
+	s.accepted.Add(1)
+	s.b.admit <- it // capacity QueueDepth ≥ inflight, never blocks for long
+	s.submitWG.Done()
+
+	select {
+	case rep := <-it.reply:
+		s.completed.Add(1)
+		if rep.err != nil {
+			var bad badFrameError
+			if errors.As(rep.err, &bad) {
+				writeError(w, http.StatusUnprocessableEntity, rep.err.Error())
+			} else {
+				writeError(w, http.StatusInternalServerError, rep.err.Error())
+			}
+			return
+		}
+		s.writeFrameReply(w, r, sess, rep)
+	case <-r.Context().Done():
+		// Client went away; the worker will still complete the frame (the
+		// session state must advance) and the buffered reply is dropped.
+		writeError(w, http.StatusServiceUnavailable, "client canceled")
+	}
+}
+
+// writeFrameReply renders a completed frame: JSON stats by default, the raw
+// PFM disparity map when ?disparity=pfm (stats travel in headers).
+func (s *Server) writeFrameReply(w http.ResponseWriter, r *http.Request, sess *session, rep frameReply) {
+	if r.URL.Query().Get("disparity") == "pfm" {
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Header().Set("X-ASV-Frame", fmt.Sprint(rep.frame))
+		w.Header().Set("X-ASV-Is-Key", fmt.Sprint(rep.res.IsKey))
+		w.Header().Set("X-ASV-MACs", fmt.Sprint(rep.res.MACs))
+		if err := imgproc.WritePFM(w, rep.res.Disparity); err != nil {
+			// Headers are gone; nothing to do but drop the connection.
+			return
+		}
+		return
+	}
+	writeJSON(w, http.StatusOK, FrameResponse{
+		Session:      sess.id,
+		Frame:        rep.frame,
+		IsKey:        rep.res.IsKey,
+		MACs:         rep.res.MACs,
+		MeanMotionPx: rep.res.MeanMotionPx,
+		Disparity:    rep.stats,
+		QueueMs:      float64(rep.queueWait) / 1e6,
+		ComputeMs:    float64(rep.compute) / 1e6,
+	})
+}
+
+// decodePair extracts the left/right images of a multipart upload. Each
+// part may be PGM or PFM (sniffed by magic); decode enforces the
+// configured pixel cap via imgproc's typed error.
+func (s *Server) decodePair(r *http.Request) (left, right *imgproc.Image, err error) {
+	// Bound the bytes we are willing to buffer: 4 bytes per pixel per
+	// image for PFM plus generous header/boundary slack.
+	limit := int64(s.cfg.MaxPixels)*8 + 1<<16
+	r.Body = http.MaxBytesReader(nil, r.Body, limit)
+	if err := r.ParseMultipartForm(limit); err != nil {
+		return nil, nil, fmt.Errorf("parsing multipart upload: %w", err)
+	}
+	defer r.MultipartForm.RemoveAll()
+	for _, name := range []string{"left", "right"} {
+		f, _, err := r.FormFile(name)
+		if err != nil {
+			return nil, nil, fmt.Errorf("missing %q image part: %w", name, err)
+		}
+		im, err := s.decodeImage(f)
+		f.Close()
+		if err != nil {
+			return nil, nil, fmt.Errorf("decoding %q: %w", name, err)
+		}
+		if name == "left" {
+			left = im
+		} else {
+			right = im
+		}
+	}
+	return left, right, nil
+}
+
+// decodeImage sniffs PGM ("P5") vs PFM ("Pf") and decodes under the
+// configured pixel cap, scrubbing non-finite PFM samples (the kernels are
+// clamp-safe on any finite input).
+func (s *Server) decodeImage(f io.Reader) (*imgproc.Image, error) {
+	br := newSniffReader(f)
+	magic, err := br.peek2()
+	if err != nil {
+		return nil, fmt.Errorf("reading magic: %w", err)
+	}
+	var im *imgproc.Image
+	switch magic {
+	case "P5":
+		im, err = imgproc.ReadPGMLimit(br, s.cfg.MaxPixels)
+	case "Pf":
+		im, err = imgproc.ReadPFMLimit(br, s.cfg.MaxPixels)
+	default:
+		return nil, fmt.Errorf("unsupported image magic %q (want PGM P5 or PFM Pf)", magic)
+	}
+	if err != nil {
+		return nil, err
+	}
+	sanitize(im)
+	return im, nil
+}
+
+// sanitize replaces non-finite samples with 0 so hostile PFM payloads
+// cannot push NaN/Inf into the temporal kernels.
+func sanitize(im *imgproc.Image) {
+	for i, v := range im.Pix {
+		if v != v || v > 1e9 || v < -1e9 {
+			im.Pix[i] = 0
+		}
+	}
+}
+
+// --- small plumbing -----------------------------------------------------
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, msg string) {
+	writeJSON(w, status, errorBody{Error: msg})
+}
+
+func round2(v float64) float64 { return float64(int64(v*100+0.5)) / 100 }
+
+// sniffReader lets the decoder peek the 2-byte magic without consuming it.
+type sniffReader struct {
+	r      io.Reader
+	peeked []byte
+}
+
+func newSniffReader(r io.Reader) *sniffReader { return &sniffReader{r: r} }
+
+func (s *sniffReader) peek2() (string, error) {
+	buf := make([]byte, 2)
+	if _, err := io.ReadFull(s.r, buf); err != nil {
+		return "", err
+	}
+	s.peeked = buf
+	return string(buf), nil
+}
+
+func (s *sniffReader) Read(p []byte) (int, error) {
+	if len(s.peeked) > 0 {
+		n := copy(p, s.peeked)
+		s.peeked = s.peeked[n:]
+		return n, nil
+	}
+	return s.r.Read(p)
+}

@@ -1,0 +1,182 @@
+package serve
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"asv/internal/core"
+	"asv/internal/dataset"
+	"asv/internal/imgproc"
+)
+
+// A session owns one ISM state machine: the server runs DNN-oracle (or SGM)
+// matching on the session's key frames and motion-propagated refinement on
+// the frames between them, exactly as the batch pipeline would, but driven
+// by request arrival. Frames of one session are processed strictly in
+// submission order; the batcher guarantees at most one in-flight frame per
+// session, so the core.Pipeline inside needs no lock of its own.
+type session struct {
+	id      string
+	pw      int // 0 when the schedule is adaptive
+	pipe    *core.Pipeline
+	created time.Time
+
+	// preset, when non-nil, lets clients POST empty bodies: the server
+	// feeds the session from this synthetic stereo sequence instead,
+	// wrapping around at the end. Useful for load generation without
+	// shipping image bytes.
+	preset *presetSource
+
+	// geoMu guards w/h: the worker pins the session's frame geometry on
+	// first use (the temporal kernels require every frame of a stream to
+	// agree) while info handlers read it concurrently.
+	geoMu sync.Mutex
+	w, h  int
+
+	// lastUseNs (unix nanos) drives TTL and LRU eviction; pendingFrames
+	// counts admitted-but-unfinished frames so the janitor never evicts a
+	// session with queued work.
+	lastUseNs     atomic.Int64
+	pendingFrames atomic.Int64
+	// frames counts completed frames; keyFrames counts how many ran the
+	// key matcher.
+	frames    atomic.Int64
+	keyFrames atomic.Int64
+}
+
+func (s *session) touch() { s.lastUseNs.Store(time.Now().UnixNano()) }
+
+func (s *session) idle() time.Duration {
+	return time.Duration(time.Now().UnixNano() - s.lastUseNs.Load())
+}
+
+// checkGeometry pins the session's frame size on first use and rejects
+// mismatched follow-ups (the flow and refinement kernels panic on size
+// changes mid-stream, so this must be caught at admission).
+func (s *session) checkGeometry(left, right *imgproc.Image) error {
+	if left.W != right.W || left.H != right.H {
+		return fmt.Errorf("left %dx%d and right %dx%d differ", left.W, left.H, right.W, right.H)
+	}
+	s.geoMu.Lock()
+	defer s.geoMu.Unlock()
+	if s.w == 0 {
+		s.w, s.h = left.W, left.H
+		return nil
+	}
+	if left.W != s.w || left.H != s.h {
+		return fmt.Errorf("frame %dx%d does not match the session's established %dx%d",
+			left.W, left.H, s.w, s.h)
+	}
+	return nil
+}
+
+// geometry returns the pinned frame size (0,0 before the first frame).
+func (s *session) geometry() (w, h int) {
+	s.geoMu.Lock()
+	defer s.geoMu.Unlock()
+	return s.w, s.h
+}
+
+// presetSource cycles through a pre-generated synthetic stereo sequence.
+type presetSource struct {
+	name string
+	seq  *dataset.Sequence
+	next int // next frame index, owned by the batcher/worker path
+}
+
+func (ps *presetSource) frame() (left, right *imgproc.Image) {
+	fr := ps.seq.Frames[ps.next%len(ps.seq.Frames)]
+	ps.next++
+	return fr.Left, fr.Right
+}
+
+// newSessionID returns a 12-hex-char random identifier.
+func newSessionID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		panic("serve: session id entropy: " + err.Error())
+	}
+	return "s" + hex.EncodeToString(b[:])
+}
+
+// sessionTable is the server's id → session map with LRU-over-capacity and
+// TTL eviction. All methods are safe for concurrent use.
+type sessionTable struct {
+	mu   sync.Mutex
+	max  int
+	byID map[string]*session
+
+	// evictions counts sessions removed by capacity or TTL pressure (not
+	// explicit DELETEs).
+	evictions atomic.Int64
+}
+
+func newSessionTable(max int) *sessionTable {
+	return &sessionTable{max: max, byID: make(map[string]*session)}
+}
+
+func (t *sessionTable) get(id string) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.byID[id]
+}
+
+func (t *sessionTable) len() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.byID)
+}
+
+// add inserts a fresh session, evicting the least-recently-used existing
+// session if the table is at capacity. Sessions with in-flight frames are
+// passed over as eviction candidates; their queued work still completes
+// because work items hold the *session pointer, removal only unlinks the id.
+func (t *sessionTable) add(s *session) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if len(t.byID) >= t.max {
+		var victim *session
+		for _, cand := range t.byID {
+			if cand.pendingFrames.Load() > 0 {
+				continue
+			}
+			if victim == nil || cand.lastUseNs.Load() < victim.lastUseNs.Load() {
+				victim = cand
+			}
+		}
+		if victim != nil {
+			delete(t.byID, victim.id)
+			t.evictions.Add(1)
+		}
+	}
+	t.byID[s.id] = s
+}
+
+// remove unlinks a session by id, returning whether it was present.
+func (t *sessionTable) remove(id string) bool {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	_, ok := t.byID[id]
+	delete(t.byID, id)
+	return ok
+}
+
+// expire evicts every idle session whose last use is older than ttl,
+// returning how many went. Sessions with queued frames are never expired.
+func (t *sessionTable) expire(ttl time.Duration) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	n := 0
+	for id, s := range t.byID {
+		if s.pendingFrames.Load() == 0 && s.idle() > ttl {
+			delete(t.byID, id)
+			t.evictions.Add(1)
+			n++
+		}
+	}
+	return n
+}

@@ -85,3 +85,37 @@ func TemporalFlicker(prevEst, curEst, prevGT, curGT *imgproc.Image) float64 {
 	}
 	return s / float64(n)
 }
+
+// DispStats summarizes one disparity map — the per-frame digest the serving
+// layer returns to clients in place of (or alongside) the raw map.
+type DispStats struct {
+	W       int     `json:"w"`
+	H       int     `json:"h"`
+	ValidPc float64 `json:"valid_pc"` // percent of pixels with disparity >= 0
+	Mean    float64 `json:"mean"`     // mean over valid pixels
+	Max     float64 `json:"max"`      // max over valid pixels
+}
+
+// DisparityStats computes the digest of a disparity map. Negative entries
+// are the conventional "invalid/unknown" marker and are excluded from the
+// mean and max.
+func DisparityStats(d *imgproc.Image) DispStats {
+	st := DispStats{W: d.W, H: d.H}
+	var sum float64
+	var valid int
+	for _, v := range d.Pix {
+		if v < 0 {
+			continue
+		}
+		valid++
+		sum += float64(v)
+		if float64(v) > st.Max {
+			st.Max = float64(v)
+		}
+	}
+	if valid > 0 {
+		st.ValidPc = 100 * float64(valid) / float64(len(d.Pix))
+		st.Mean = sum / float64(valid)
+	}
+	return st
+}

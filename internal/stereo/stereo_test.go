@@ -326,3 +326,28 @@ func TestTemporalFlickerSkipsInvalidGT(t *testing.T) {
 		t.Fatalf("flicker over the single valid pixel = %v, want 0", f)
 	}
 }
+
+func TestDisparityStatsDigest(t *testing.T) {
+	d := imgproc.FromPix([]float32{2, 6, -1, 4}, 2, 2)
+	st := DisparityStats(d)
+	if st.W != 2 || st.H != 2 {
+		t.Fatalf("geometry %dx%d, want 2x2", st.W, st.H)
+	}
+	if st.ValidPc != 75 {
+		t.Fatalf("valid%% = %v, want 75", st.ValidPc)
+	}
+	if st.Mean != 4 {
+		t.Fatalf("mean = %v, want 4 (invalid pixel must be excluded)", st.Mean)
+	}
+	if st.Max != 6 {
+		t.Fatalf("max = %v, want 6", st.Max)
+	}
+}
+
+func TestDisparityStatsAllInvalid(t *testing.T) {
+	d := imgproc.FromPix([]float32{-1, -2}, 2, 1)
+	st := DisparityStats(d)
+	if st.ValidPc != 0 || st.Mean != 0 || st.Max != 0 {
+		t.Fatalf("all-invalid map should zero the digest, got %+v", st)
+	}
+}

@@ -1,0 +1,161 @@
+package asv
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"asv/internal/metrics"
+	"asv/internal/serve"
+)
+
+// Serving facade: re-exports of the internal/serve types that commands and
+// external users need to run the stereo depth service and its load
+// generator. See DESIGN.md §6 "Serving architecture".
+
+// ServeConfig parameterizes a depth server (queue depth, workers, batching,
+// session limits).
+type ServeConfig = serve.Config
+
+// ServeServer is the sessionful stereo depth HTTP service.
+type ServeServer = serve.Server
+
+// ServeLoadConfig parameterizes one load-generation run.
+type ServeLoadConfig = serve.LoadConfig
+
+// ServeLoadReport aggregates one load run: request counts by outcome and
+// latency percentiles over successful frame submissions.
+type ServeLoadReport = serve.LoadReport
+
+// DefaultServeConfig returns the server defaults.
+func DefaultServeConfig() ServeConfig { return serve.DefaultConfig() }
+
+// NewServeServer builds a depth server around matcher. Call Start to bind a
+// listener and Close to drain.
+func NewServeServer(matcher KeyMatcher, cfg ServeConfig) *ServeServer {
+	return serve.New(matcher, cfg)
+}
+
+// RunServeLoad drives the server at cfg.BaseURL and reports latency
+// percentiles and error counts.
+func RunServeLoad(cfg ServeLoadConfig) (ServeLoadReport, error) {
+	return serve.RunLoad(cfg)
+}
+
+// ServeBenchConfig sizes MeasureServeLoad. The zero value is replaced by a
+// smoke-sized run.
+type ServeBenchConfig struct {
+	W, H     int     // frame geometry
+	PW       int     // ISM propagation window
+	Sessions int     // concurrent sessions in the normal phase
+	Frames   int     // frames per session and phase
+	QPS      float64 // normal-phase aggregate target rate
+}
+
+func (c ServeBenchConfig) withDefaults() ServeBenchConfig {
+	if c.W < 16 {
+		c.W = 96
+	}
+	if c.H < 16 {
+		c.H = 64
+	}
+	if c.PW < 1 {
+		c.PW = 4
+	}
+	if c.Sessions < 1 {
+		c.Sessions = 4
+	}
+	if c.Frames < 1 {
+		c.Frames = 12
+	}
+	if c.QPS <= 0 {
+		c.QPS = 40
+	}
+	return c
+}
+
+// ServeBenchDoc is the record behind BENCH_serve.json: one in-process
+// server measured under a paced normal phase (latency percentiles, zero
+// rejections expected) and an overload phase against a deliberately tiny
+// admission queue (backpressure expected: rejected_429 > 0).
+type ServeBenchDoc struct {
+	W        int     `json:"w"`
+	H        int     `json:"h"`
+	PW       int     `json:"pw"`
+	Sessions int     `json:"sessions"`
+	Frames   int     `json:"frames"`
+	QPS      float64 `json:"target_qps"`
+
+	Normal   ServeLoadReport `json:"normal"`
+	Overload ServeLoadReport `json:"overload"`
+
+	// ServeCounters is the server's /metrics "serve" section after both
+	// phases (accepted/completed/rejected/batch statistics).
+	ServeCounters map[string]any `json:"serve_counters"`
+}
+
+// MeasureServeLoad starts an in-process depth server on a loopback port,
+// runs the two load phases against it over real HTTP, and returns the
+// combined record. The overload phase runs on a second server whose
+// admission queue is cut to 2 with a single worker, so a burst of eager
+// clients must observe 429s — that asserts the backpressure path under
+// measurement, not just in unit tests.
+func MeasureServeLoad(bc ServeBenchConfig) (ServeBenchDoc, error) {
+	bc = bc.withDefaults()
+	matcher := BMKeyMatcher{Opt: func() BMOptions {
+		o := DefaultBMOptions()
+		o.MaxDisp = 16
+		return o
+	}()}
+
+	doc := ServeBenchDoc{W: bc.W, H: bc.H, PW: bc.PW,
+		Sessions: bc.Sessions, Frames: bc.Frames, QPS: bc.QPS}
+
+	// Normal phase: generously provisioned server, paced clients.
+	cfg := DefaultServeConfig()
+	cfg.PW = bc.PW
+	cfg.Metrics = metrics.NewRegistry()
+	srv := NewServeServer(matcher, cfg)
+	addr, err := srv.Start("127.0.0.1:0")
+	if err != nil {
+		return doc, fmt.Errorf("starting server: %w", err)
+	}
+	doc.Normal, err = RunServeLoad(ServeLoadConfig{
+		BaseURL:  "http://" + addr.String(),
+		Sessions: bc.Sessions, Frames: bc.Frames, QPS: bc.QPS,
+		W: bc.W, H: bc.H, PW: bc.PW,
+	})
+	if err == nil {
+		doc.ServeCounters = srv.CountersSnapshot()
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	srv.Close(ctx)
+	cancel()
+	if err != nil {
+		return doc, fmt.Errorf("normal phase: %w", err)
+	}
+
+	// Overload phase: tiny queue, one worker, unpaced clients.
+	ocfg := DefaultServeConfig()
+	ocfg.PW = bc.PW
+	ocfg.QueueDepth = 2
+	ocfg.Workers = 1
+	ocfg.Metrics = metrics.NewRegistry()
+	osrv := NewServeServer(matcher, ocfg)
+	oaddr, err := osrv.Start("127.0.0.1:0")
+	if err != nil {
+		return doc, fmt.Errorf("starting overload server: %w", err)
+	}
+	doc.Overload, err = RunServeLoad(ServeLoadConfig{
+		BaseURL:  "http://" + oaddr.String(),
+		Sessions: 2 * bc.Sessions, Frames: bc.Frames, QPS: 0, // as fast as possible
+		W: bc.W, H: bc.H, PW: bc.PW,
+	})
+	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+	osrv.Close(ctx)
+	cancel()
+	if err != nil {
+		return doc, fmt.Errorf("overload phase: %w", err)
+	}
+	return doc, nil
+}

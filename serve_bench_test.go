@@ -1,0 +1,35 @@
+package asv
+
+import "testing"
+
+// TestMeasureServeLoad runs a tiny two-phase serving benchmark over real
+// loopback HTTP and checks the invariants the bench asserts for CI: no
+// server-side failures, latency percentiles reported, and backpressure
+// (429s) actually observed in the overload phase.
+func TestMeasureServeLoad(t *testing.T) {
+	doc, err := MeasureServeLoad(ServeBenchConfig{
+		W: 48, H: 32, PW: 3, Sessions: 2, Frames: 5, QPS: 60,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if doc.Normal.Requests != 10 || doc.Normal.OK != 10 {
+		t.Fatalf("normal phase lost requests: %+v", doc.Normal)
+	}
+	if doc.Normal.Status5xx != 0 || doc.Overload.Status5xx != 0 {
+		t.Fatalf("5xx observed: normal %+v overload %+v", doc.Normal, doc.Overload)
+	}
+	if doc.Normal.P99Ms <= 0 || doc.Normal.P50Ms > doc.Normal.P99Ms {
+		t.Fatalf("bad percentiles: %+v", doc.Normal)
+	}
+	if doc.Overload.Rejected == 0 {
+		t.Fatalf("overload phase saw no backpressure: %+v", doc.Overload)
+	}
+	if doc.ServeCounters == nil {
+		t.Fatal("serve counters missing from doc")
+	}
+	if got := doc.ServeCounters["frames_accepted"]; got != int64(10) {
+		t.Fatalf("frames_accepted = %v, want 10", got)
+	}
+}
