@@ -1,6 +1,14 @@
 # Developer entry points. `make check` mirrors what CI runs.
+#
+# `make lint` runs asvlint, the project's own static analyzer (see
+# internal/analysis): pool Get/Put pairing, goroutine lifecycle, dropped
+# errors, golden-corpus determinism, and lock/atomic copy rules. `make
+# lint-fix` is the cleanup loop: gofmt the tree, then print the remaining
+# asvlint findings grouped by rule so related fixes land together.
 
-RACE_PKGS := ./internal/core ./internal/flow ./internal/pipeline ./internal/par ./internal/stereo ./internal/imgproc ./internal/metrics ./internal/serve
+# Every package is race-checked by default — new subsystems are covered the
+# moment they appear, instead of opting in here.
+RACE_PKGS := ./...
 
 # Fuzz targets exercised by fuzz-smoke, as package:Target pairs.
 FUZZ_TARGETS := \
@@ -13,7 +21,7 @@ FUZZ_TARGETS := \
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json serve-smoke fmt fmt-check vet check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -51,6 +59,15 @@ fmt-check:
 vet:
 	go vet ./...
 
+# Project-specific invariants; exits nonzero on any finding.
+lint:
+	go run ./cmd/asvlint ./...
+
+# Format the tree, then show what asvlint still wants, grouped by rule.
+lint-fix:
+	gofmt -w .
+	go run ./cmd/asvlint -group ./... || true
+
 # Run every native fuzz target briefly (seed corpus + ~10s of new inputs
 # each); any crasher fails the build.
 fuzz-smoke:
@@ -69,4 +86,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet fmt-check test race bench fuzz-smoke serve-smoke cover
+check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cover

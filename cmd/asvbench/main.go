@@ -104,9 +104,8 @@ func table(title string, header []string, rows [][]string) {
 	if format == "csv" {
 		fmt.Printf("# %s\n", title)
 		w := csv.NewWriter(os.Stdout)
-		w.Write(header)
-		w.WriteAll(rows)
-		w.Flush()
+		dieIf(w.Write(header))
+		dieIf(w.WriteAll(rows)) // WriteAll flushes and reports any buffered error
 		return
 	}
 	fmt.Printf("\n== %s ==\n", title)
@@ -115,7 +114,16 @@ func table(title string, header []string, rows [][]string) {
 	for _, r := range rows {
 		fmt.Fprintln(w, strings.Join(r, "\t"))
 	}
-	w.Flush()
+	dieIf(w.Flush())
+}
+
+// dieIf aborts on output errors (a closed pipe, a full disk): silently
+// truncated benchmark tables are worse than no tables.
+func dieIf(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "asvbench:", err)
+		os.Exit(1)
+	}
 }
 
 func fig1(sc asv.ExpScale) {

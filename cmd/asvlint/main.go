@@ -1,0 +1,123 @@
+// Command asvlint runs the project's static analyzers (internal/analysis)
+// over every package in the module and exits nonzero on any finding. It is
+// stdlib-only by design: go/parser + go/types with the source importer, no
+// x/tools.
+//
+// Usage:
+//
+//	asvlint [-rules poolpair,droppederr] [-group] [./...]
+//
+// Findings print as "file:line:col: [rule] message", relative to the module
+// root. -group instead prints findings grouped per rule with the rule's doc
+// line, the format `make lint-fix` uses. Exit status: 0 clean, 1 findings,
+// 2 usage or load error.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+
+	"asv/internal/analysis"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("asvlint", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	rules := fs.String("rules", "", "comma-separated rule subset (default: all)")
+	group := fs.Bool("group", false, "group findings by rule")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	for _, pat := range fs.Args() {
+		if pat != "./..." {
+			fmt.Fprintf(stderr, "asvlint: only the ./... pattern is supported, got %q\n", pat)
+			return 2
+		}
+	}
+
+	analyzers := analysis.All()
+	if *rules != "" {
+		var err error
+		if analyzers, err = analysis.ByName(*rules); err != nil {
+			fmt.Fprintf(stderr, "asvlint: %v\n", err)
+			return 2
+		}
+	}
+
+	wd, err := os.Getwd()
+	if err != nil {
+		fmt.Fprintf(stderr, "asvlint: %v\n", err)
+		return 2
+	}
+	root, err := analysis.ModuleRoot(wd)
+	if err != nil {
+		fmt.Fprintf(stderr, "asvlint: %v\n", err)
+		return 2
+	}
+	// The source importer resolves module-local import paths through the go
+	// command, which needs to run inside the module.
+	if err := os.Chdir(root); err != nil {
+		fmt.Fprintf(stderr, "asvlint: %v\n", err)
+		return 2
+	}
+
+	loader := analysis.NewLoader()
+	passes, err := loader.LoadModule(root)
+	if err != nil {
+		fmt.Fprintf(stderr, "asvlint: %v\n", err)
+		return 2
+	}
+
+	var all []analysis.Diagnostic
+	for _, p := range passes {
+		all = append(all, analysis.Run(p, analyzers)...)
+	}
+	for i := range all {
+		if rel, err := filepath.Rel(root, all[i].Pos.Filename); err == nil {
+			all[i].Pos.Filename = rel
+		}
+	}
+	if len(all) == 0 {
+		fmt.Fprintf(stdout, "asvlint: %d packages clean\n", len(passes))
+		return 0
+	}
+	if *group {
+		printGrouped(stdout, analyzers, all)
+	} else {
+		for _, d := range all {
+			fmt.Fprintln(stdout, d)
+		}
+	}
+	fmt.Fprintf(stderr, "asvlint: %d finding(s)\n", len(all))
+	return 1
+}
+
+func printGrouped(stdout io.Writer, analyzers []*analysis.Analyzer, all []analysis.Diagnostic) {
+	byRule := map[string][]analysis.Diagnostic{}
+	for _, d := range all {
+		byRule[d.Rule] = append(byRule[d.Rule], d)
+	}
+	doc := map[string]string{}
+	for _, a := range analyzers {
+		doc[a.Name] = a.Doc
+	}
+	rules := make([]string, 0, len(byRule))
+	for r := range byRule {
+		rules = append(rules, r)
+	}
+	sort.Strings(rules)
+	for _, r := range rules {
+		fmt.Fprintf(stdout, "%s — %s (%d)\n", r, doc[r], len(byRule[r]))
+		for _, d := range byRule[r] {
+			fmt.Fprintf(stdout, "  %s:%d:%d: %s\n", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Msg)
+		}
+	}
+}

@@ -1,0 +1,57 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"strings"
+	"testing"
+)
+
+func TestRunRejectsUnknownRule(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-rules", "nosuchrule"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown rule") {
+		t.Fatalf("stderr = %q, want unknown-rule error", errb.String())
+	}
+}
+
+func TestRunRejectsUnsupportedPattern(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./cmd/..."}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2; stderr: %s", code, errb.String())
+	}
+}
+
+func TestRunBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-definitely-not-a-flag"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+// TestRunModuleClean is the end-to-end path `make lint` exercises: load the
+// whole module and require zero findings. Module-wide type-checking through
+// the source importer takes a few seconds, so -short skips it.
+func TestRunModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide lint run skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errb bytes.Buffer
+	if code := run([]string{"./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if !strings.Contains(out.String(), "packages clean") {
+		t.Fatalf("stdout = %q, want clean summary", out.String())
+	}
+}

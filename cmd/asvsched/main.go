@@ -90,7 +90,9 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%.2f\t%d\n",
 			r.Name, l.Kind, r.Cycles, r.MACs, float64(r.DRAMBytes)/1e6, r.Rounds)
 	}
-	w.Flush()
+	if err := w.Flush(); err != nil {
+		return err
+	}
 
 	fmt.Fprintf(out, "\ntotal: %.3f ms, %.2f GMACs, %.1f MB DRAM, %.3f J (%.1f FPS)\n",
 		rep.Seconds*1e3, float64(rep.MACs)/1e9, float64(rep.DRAMBytes)/1e6,

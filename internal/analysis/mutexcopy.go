@@ -1,0 +1,163 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// AnalyzerMutexCopy flags by-value copies of types that transitively contain
+// a sync primitive (Mutex, RWMutex, WaitGroup, Once, Cond, Map, Pool) or a
+// sync/atomic value type: non-pointer function parameters and results,
+// copying assignments, and ranging over containers of such values. A copied
+// lock is a distinct lock — the copy silently stops guarding anything.
+var AnalyzerMutexCopy = &Analyzer{
+	Name: "mutexcopy",
+	Doc:  "by-value copy of a struct containing sync/atomic state",
+	Run:  runMutexCopy,
+}
+
+// AnalyzerAtomicAlign flags methods declared with a value receiver on a type
+// that contains sync/atomic values (directly or transitively): every call
+// copies the atomics, so loads observe a snapshot and stores vanish — the
+// exact bug class PR 3's in-flight admission gauge hit before it moved to a
+// pointer receiver.
+var AnalyzerAtomicAlign = &Analyzer{
+	Name: "atomicalign",
+	Doc:  "value receiver on a type holding sync/atomic state",
+	Run:  runAtomicAlign,
+}
+
+// containsSync reports whether t transitively contains a no-copy sync or
+// sync/atomic value (not behind a pointer). The seen set breaks cycles
+// through recursive types.
+func containsSync(t types.Type, seen map[types.Type]bool) (bool, string) {
+	t = types.Unalias(t)
+	if seen[t] {
+		return false, ""
+	}
+	seen[t] = true
+	switch u := t.(type) {
+	case *types.Named:
+		if pkg := u.Obj().Pkg(); pkg != nil {
+			switch pkg.Path() {
+			case "sync":
+				if _, isStruct := u.Underlying().(*types.Struct); isStruct {
+					return true, "sync." + u.Obj().Name()
+				}
+			case "sync/atomic":
+				if _, isStruct := u.Underlying().(*types.Struct); isStruct {
+					return true, "atomic." + u.Obj().Name()
+				}
+			}
+		}
+		return containsSync(u.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < u.NumFields(); i++ {
+			if ok, what := containsSync(u.Field(i).Type(), seen); ok {
+				return true, what
+			}
+		}
+	case *types.Array:
+		return containsSync(u.Elem(), seen)
+	}
+	return false, ""
+}
+
+func syncIn(t types.Type) (bool, string) {
+	if t == nil {
+		return false, ""
+	}
+	return containsSync(t, map[types.Type]bool{})
+}
+
+func runMutexCopy(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				out = append(out, checkFuncSig(p, n.Type)...)
+			case *ast.FuncLit:
+				out = append(out, checkFuncSig(p, n.Type)...)
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					// Only flag copies of existing values; composite literals
+					// and constructor calls produce fresh, un-shared state,
+					// and assigning to _ discards the copy.
+					if i < len(n.Lhs) {
+						if id, ok := n.Lhs[i].(*ast.Ident); ok && id.Name == "_" {
+							continue
+						}
+					}
+					switch ast.Unparen(rhs).(type) {
+					case *ast.Ident, *ast.SelectorExpr, *ast.StarExpr, *ast.IndexExpr:
+						if ok, what := syncIn(p.Info.TypeOf(rhs)); ok {
+							out = append(out, p.diag(rhs.Pos(), "mutexcopy",
+								"assignment copies a value containing %s; use a pointer", what))
+						}
+					}
+				}
+			case *ast.RangeStmt:
+				if n.Value != nil {
+					if ok, what := syncIn(p.Info.TypeOf(n.Value)); ok {
+						out = append(out, p.diag(n.Value.Pos(), "mutexcopy",
+							"range copies element values containing %s; iterate by index or over pointers", what))
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// checkFuncSig flags non-pointer parameters and results whose type contains
+// sync state. Receivers are atomicalign's concern.
+func checkFuncSig(p *Pass, ft *ast.FuncType) []Diagnostic {
+	var out []Diagnostic
+	check := func(fl *ast.FieldList, kind string) {
+		if fl == nil {
+			return
+		}
+		for _, field := range fl.List {
+			t := p.Info.TypeOf(field.Type)
+			if t == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(t).(*types.Pointer); isPtr {
+				continue
+			}
+			if ok, what := syncIn(t); ok {
+				out = append(out, p.diag(field.Type.Pos(), "mutexcopy",
+					"%s passes a value containing %s by value; use a pointer", kind, what))
+			}
+		}
+	}
+	check(ft.Params, "parameter")
+	check(ft.Results, "result")
+	return out
+}
+
+func runAtomicAlign(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 {
+				continue
+			}
+			recvType := p.Info.TypeOf(fd.Recv.List[0].Type)
+			if recvType == nil {
+				continue
+			}
+			if _, isPtr := types.Unalias(recvType).(*types.Pointer); isPtr {
+				continue
+			}
+			if ok, what := syncIn(recvType); ok {
+				out = append(out, p.diag(fd.Recv.List[0].Type.Pos(), "atomicalign",
+					"method %s has a value receiver on a type containing %s; every call operates on a copy — use a pointer receiver", fd.Name.Name, what))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,157 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+const imgprocPath = "asv/internal/imgproc"
+
+// AnalyzerPoolPair flags imgproc.GetImage results that are provably leaked:
+// the image is bound to a local variable, never reaches a PutImage (directly
+// or deferred) anywhere in the function, and never escapes the function
+// (returned, stored in a composite literal, assigned onward, sent on a
+// channel, address-taken, or passed to any other call). Escaping images are
+// someone else's responsibility — the rule only reports the case where no
+// path can ever release the buffer, the leak class pooling was added to
+// eliminate.
+var AnalyzerPoolPair = &Analyzer{
+	Name: "poolpair",
+	Doc:  "imgproc pool Get without a reachable Put",
+	Run:  runPoolPair,
+}
+
+func runPoolPair(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	forEachFuncBody(p.Files, func(name string, decl *ast.FuncDecl, body *ast.BlockStmt) {
+		out = append(out, poolPairFunc(p, body)...)
+	})
+	return out
+}
+
+// poolPairFunc analyzes one function body.
+func poolPairFunc(p *Pass, body *ast.BlockStmt) []Diagnostic {
+	// Pass 1: collect local variables bound directly to a GetImage call.
+	got := map[*types.Var]token.Pos{}
+	ast.Inspect(body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok || !isPkgFunc(calleeFunc(p.Info, call), imgprocPath, "GetImage") {
+				continue
+			}
+			id, ok := as.Lhs[i].(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			var obj types.Object
+			if as.Tok == token.DEFINE {
+				obj = p.Info.Defs[id]
+			} else {
+				obj = p.Info.Uses[id]
+			}
+			if v, ok := obj.(*types.Var); ok && !v.IsField() {
+				got[v] = call.Pos()
+			}
+		}
+		return true
+	})
+	if len(got) == 0 {
+		return nil
+	}
+
+	// Pass 2: scan every construct through which the image could be released
+	// or escape. A variable that is Put is paired; a variable that escapes is
+	// out of scope for this rule; what remains is a guaranteed leak.
+	released := map[*types.Var]bool{}
+	escaped := map[*types.Var]bool{}
+	localVar := func(e ast.Expr) *types.Var {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		if !ok {
+			return nil
+		}
+		v, ok := p.Info.Uses[id].(*types.Var)
+		if ok {
+			if _, tracked := got[v]; tracked {
+				return v
+			}
+		}
+		return nil
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			isPut := isPkgFunc(calleeFunc(p.Info, n), imgprocPath, "PutImage")
+			for _, arg := range n.Args {
+				if v := localVar(arg); v != nil {
+					if isPut {
+						released[v] = true
+					} else {
+						escaped[v] = true
+					}
+				}
+			}
+		case *ast.ReturnStmt:
+			for _, res := range n.Results {
+				if v := localVar(res); v != nil {
+					escaped[v] = true
+				}
+			}
+		case *ast.CompositeLit:
+			for _, elt := range n.Elts {
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					elt = kv.Value
+				}
+				if v := localVar(elt); v != nil {
+					escaped[v] = true
+				}
+			}
+		case *ast.AssignStmt:
+			// Re-binding the pool image to another name, a field, a map slot
+			// or an element hands ownership onward.
+			for _, rhs := range n.Rhs {
+				if v := localVar(rhs); v != nil {
+					escaped[v] = true
+				}
+			}
+		case *ast.SendStmt:
+			if v := localVar(n.Value); v != nil {
+				escaped[v] = true
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if v := localVar(n.X); v != nil {
+					escaped[v] = true
+				}
+			}
+		case *ast.FuncLit:
+			// A closure may release the image later (e.g. a cleanup func);
+			// treat any tracked variable it captures as escaped.
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if v, ok := p.Info.Uses[id].(*types.Var); ok {
+						if _, tracked := got[v]; tracked {
+							escaped[v] = true
+						}
+					}
+				}
+				return true
+			})
+			return false
+		}
+		return true
+	})
+
+	var out []Diagnostic
+	for v, pos := range got {
+		if !released[v] && !escaped[v] {
+			out = append(out, p.diag(pos, "poolpair",
+				"imgproc.GetImage result %q never reaches imgproc.PutImage and does not escape this function (pooled buffer leak)", v.Name()))
+		}
+	}
+	return out
+}

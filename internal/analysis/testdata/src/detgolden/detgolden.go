@@ -1,0 +1,53 @@
+// Package detgolden is an asvlint fixture; the harness loads it under the
+// import path asv/internal/stereo so the golden-corpus rule applies.
+package detgolden
+
+import (
+	"math/rand"
+	"sort"
+)
+
+// Nondeterministic: map iteration order varies run to run.
+func sumByKey(costs map[string]float64) float64 {
+	var total float64
+	for _, v := range costs { // want `\[detgolden\] map iteration order is nondeterministic`
+		total += v
+	}
+	return total
+}
+
+// Nondeterministic: the global math/rand source is time-seeded.
+func jitter() float64 {
+	return rand.Float64() // want `\[detgolden\] math/rand.Float64 uses the global time-seeded source`
+}
+
+// Deterministic: the canonical remedy — collect keys, sort, iterate. The
+// key-collection loop itself is exempt.
+func sumSorted(costs map[string]float64) float64 {
+	keys := make([]string, 0, len(costs))
+	for k := range costs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var total float64
+	for _, k := range keys {
+		total += costs[k]
+	}
+	return total
+}
+
+// Deterministic: explicitly seeded generator; methods on *rand.Rand are fine.
+func seeded(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed))
+	return rng.Float64()
+}
+
+// Suppressed: key collection is order-insensitive and justified.
+func keysJustified(costs map[string]float64) int {
+	n := 0
+	//asvlint:ignore detgolden fixture: counting keys is order-insensitive
+	for range costs {
+		n++
+	}
+	return n
+}

@@ -1,0 +1,50 @@
+// Package droppederr is an asvlint fixture for the dropped-error rule.
+package droppederr
+
+import (
+	"fmt"
+	"hash/fnv"
+	"os"
+	"strconv"
+	"strings"
+)
+
+func ignoredCall(path string) {
+	os.Remove(path) // want `\[droppederr\] error result of os.Remove is discarded`
+}
+
+func blankAssigned(s string) int {
+	n, _ := strconv.Atoi(s) // want `\[droppederr\] error result of strconv.Atoi is assigned to _`
+	return n
+}
+
+func deferDropped(f *os.File) {
+	defer f.Close() // want `\[droppederr\] error result of \(\*os.File\).Close is discarded by defer`
+}
+
+func goDropped(path string) {
+	go os.Remove(path) // want `\[droppederr\] error result of os.Remove is discarded by go`
+}
+
+func suppressed(path string) {
+	//asvlint:ignore droppederr fixture: proves the directive suppresses a finding
+	os.Remove(path)
+}
+
+// Allowlisted: contract-nil errors and the fmt print family are not noise
+// worth flagging.
+func allowlisted() string {
+	var b strings.Builder
+	b.WriteString("ok")
+	fmt.Println("ok")
+	h := fnv.New32a()
+	h.Write([]byte("ok"))
+	return b.String()
+}
+
+func handled(path string) error {
+	if err := os.Remove(path); err != nil {
+		return err
+	}
+	return nil
+}

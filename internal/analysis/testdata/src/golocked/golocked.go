@@ -1,0 +1,71 @@
+// Package golocked is an asvlint fixture; the harness loads it under the
+// import path asv/internal/pipeline so the rule applies.
+package golocked
+
+import (
+	"context"
+	"sync"
+)
+
+type worker struct {
+	stop chan struct{}
+	n    int
+}
+
+// Unsupervised: nothing can join or cancel this goroutine.
+func fireAndForget() {
+	go func() { // want `\[golocked\] goroutine has no visible lifecycle coordination`
+		for {
+			_ = 1
+		}
+	}()
+}
+
+// Unsupervised named function.
+func spin() {
+	for i := 0; i < 1e6; i++ {
+		_ = i
+	}
+}
+
+func fireNamed() {
+	go spin() // want `\[golocked\] goroutine has no visible lifecycle coordination`
+}
+
+// Coordinated: WaitGroup Done inside the literal.
+func joined(wg *sync.WaitGroup) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		_ = 1
+	}()
+}
+
+// Coordinated: sends its result on a channel.
+func handsOff(out chan<- int) {
+	go func() {
+		out <- 42
+	}()
+}
+
+// Coordinated: the launched method's body receives from a stop channel.
+func (w *worker) run() {
+	for {
+		select {
+		case <-w.stop:
+			return
+		default:
+		}
+	}
+}
+
+func (w *worker) start() {
+	go w.run()
+}
+
+// Coordinated: context cancellation.
+func ctxBound(ctx context.Context) {
+	go func() {
+		<-ctx.Done()
+	}()
+}

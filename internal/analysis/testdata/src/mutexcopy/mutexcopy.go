@@ -1,0 +1,63 @@
+// Package mutexcopy is an asvlint fixture for the mutexcopy and atomicalign
+// rules.
+package mutexcopy
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+type guarded struct {
+	mu sync.Mutex
+	n  int
+}
+
+type gauge struct {
+	inflight atomic.Int64
+}
+
+type wraps struct {
+	inner guarded // transitively contains sync.Mutex
+}
+
+// mutexcopy: value parameter copies the lock.
+func byValueParam(g guarded) int { // want `\[mutexcopy\] parameter passes a value containing sync.Mutex by value`
+	return g.n
+}
+
+// mutexcopy: assignment copies an existing value.
+func copyAssign(p *guarded) {
+	local := *p // want `\[mutexcopy\] assignment copies a value containing sync.Mutex`
+	_ = local
+}
+
+// mutexcopy: range copies lock-bearing elements.
+func rangeCopy(gs []wraps) int {
+	total := 0
+	for _, g := range gs { // want `\[mutexcopy\] range copies element values containing sync.Mutex`
+		total += g.inner.n
+	}
+	return total
+}
+
+// atomicalign: value receiver copies the atomic gauge — loads see a
+// snapshot, stores vanish.
+func (g gauge) Load() int64 { // want `\[atomicalign\] method Load has a value receiver on a type containing atomic.Int64`
+	return g.inflight.Load()
+}
+
+// Fine: pointer receiver.
+func (g *gauge) Add(d int64) { g.inflight.Add(d) }
+
+// Fine: pointer parameter.
+func byPointer(g *guarded) int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.n
+}
+
+// Fine: constructing a fresh value is not a copy.
+func fresh() *guarded {
+	g := guarded{n: 1}
+	return &g
+}

@@ -1,0 +1,60 @@
+// Package poolpair is an asvlint fixture: seeded violations and non-violations
+// of the poolpair rule. Each `// want` comment pins an expected diagnostic.
+package poolpair
+
+import "asv/internal/imgproc"
+
+// Leak: bound to a local, read, never Put, never escapes.
+func leaks(w, h int) float32 {
+	im := imgproc.GetImage(w, h) // want `\[poolpair\] imgproc.GetImage result "im" never reaches imgproc.PutImage`
+	return im.Pix[0]
+}
+
+// Leak: result completely unused.
+func leaksUnused(w, h int) {
+	tmp := imgproc.GetImage(w, h) // want `\[poolpair\] imgproc.GetImage result "tmp" never reaches imgproc.PutImage`
+	_ = tmp.W
+}
+
+// Paired: explicit Put.
+func paired(w, h int) float32 {
+	im := imgproc.GetImage(w, h)
+	v := im.Pix[0]
+	imgproc.PutImage(im)
+	return v
+}
+
+// Paired: deferred Put.
+func pairedDefer(w, h int) float32 {
+	im := imgproc.GetImage(w, h)
+	defer imgproc.PutImage(im)
+	return im.Pix[0]
+}
+
+// Escapes: returned to the caller, who owns the release.
+func escapesReturn(w, h int) *imgproc.Image {
+	im := imgproc.GetImage(w, h)
+	return im
+}
+
+// Escapes: stored into a composite literal.
+type pyramid struct{ level *imgproc.Image }
+
+func escapesStruct(w, h int) pyramid {
+	im := imgproc.GetImage(w, h)
+	return pyramid{level: im}
+}
+
+// Escapes: handed to another function.
+func escapesCall(w, h int) {
+	im := imgproc.GetImage(w, h)
+	consume(im)
+}
+
+func consume(*imgproc.Image) {}
+
+// Escapes: released inside a closure.
+func escapesClosure(w, h int) func() {
+	im := imgproc.GetImage(w, h)
+	return func() { imgproc.PutImage(im) }
+}

@@ -163,6 +163,98 @@ func TestSnapshotStableSchema(t *testing.T) {
 	}
 }
 
+// snapshotSchema is the pinned wire format of SnapshotJSON — the schema the
+// serving layer's /metrics endpoint and asvbench's BENCH_*.json artifacts
+// promise to external dashboards. Every field is a pointer so a *missing*
+// key fails as loudly as an unknown one: adding a field here is a deliberate
+// schema extension, renaming or removing one is a break.
+type snapshotSchema struct {
+	UptimeMS *float64               `json:"uptime_ms"`
+	Stages   map[string]stageSchema `json:"stages"`
+	Alloc    *allocSchema           `json:"alloc"`
+}
+
+type stageSchema struct {
+	Count   *int64   `json:"count"`
+	TotalMS *float64 `json:"total_ms"`
+	MeanMS  *float64 `json:"mean_ms"`
+	MinMS   *float64 `json:"min_ms"`
+	MaxMS   *float64 `json:"max_ms"`
+	P50MS   *float64 `json:"p50_ms"`
+	P95MS   *float64 `json:"p95_ms"`
+	P99MS   *float64 `json:"p99_ms"`
+}
+
+type allocSchema struct {
+	AllocMB       *float64 `json:"alloc_mb"`
+	NumGC         *uint32  `json:"num_gc"`
+	PoolGets      *int64   `json:"pool_gets"`
+	PoolHits      *int64   `json:"pool_hits"`
+	PoolPuts      *int64   `json:"pool_puts"`
+	PoolHitRatePc *float64 `json:"pool_hit_rate_pc"`
+}
+
+// TestSnapshotJSONPinnedStruct decodes SnapshotJSON into the pinned schema
+// with DisallowUnknownFields: an unknown field is a decode error, a missing
+// field is a nil pointer, and either fails the test. This is the
+// machine-checked form of the stable-schema promise in the Snapshot doc
+// comment.
+func TestSnapshotJSONPinnedStruct(t *testing.T) {
+	r := NewRegistry()
+	r.Stage("frame").Observe(3 * time.Millisecond)
+
+	dec := json.NewDecoder(strings.NewReader(string(r.SnapshotJSON())))
+	dec.DisallowUnknownFields()
+	var snap snapshotSchema
+	if err := dec.Decode(&snap); err != nil {
+		t.Fatalf("SnapshotJSON no longer matches the pinned schema (unknown or mistyped field?): %v", err)
+	}
+	if snap.UptimeMS == nil {
+		t.Error("snapshot missing pinned field uptime_ms")
+	}
+	if snap.Alloc == nil {
+		t.Fatal("snapshot missing pinned object alloc")
+	}
+	allocFields := map[string]any{
+		"alloc_mb": snap.Alloc.AllocMB, "num_gc": snap.Alloc.NumGC,
+		"pool_gets": snap.Alloc.PoolGets, "pool_hits": snap.Alloc.PoolHits,
+		"pool_puts": snap.Alloc.PoolPuts, "pool_hit_rate_pc": snap.Alloc.PoolHitRatePc,
+	}
+	for name, v := range allocFields {
+		switch p := v.(type) {
+		case *float64:
+			if p == nil {
+				t.Errorf("snapshot missing pinned field alloc.%s", name)
+			}
+		case *int64:
+			if p == nil {
+				t.Errorf("snapshot missing pinned field alloc.%s", name)
+			}
+		case *uint32:
+			if p == nil {
+				t.Errorf("snapshot missing pinned field alloc.%s", name)
+			}
+		}
+	}
+	stage, ok := snap.Stages["frame"]
+	if !ok {
+		t.Fatal("snapshot missing observed stage \"frame\"")
+	}
+	stageFields := map[string]*float64{
+		"total_ms": stage.TotalMS, "mean_ms": stage.MeanMS, "min_ms": stage.MinMS,
+		"max_ms": stage.MaxMS, "p50_ms": stage.P50MS, "p95_ms": stage.P95MS,
+		"p99_ms": stage.P99MS,
+	}
+	if stage.Count == nil {
+		t.Error("snapshot missing pinned field stages.frame.count")
+	}
+	for name, p := range stageFields {
+		if p == nil {
+			t.Errorf("snapshot missing pinned field stages.frame.%s", name)
+		}
+	}
+}
+
 // Snapshots must be safe (and sane) while every pipeline goroutine is still
 // observing — the /metrics endpoint runs against a live server. Run with
 // -race in CI.

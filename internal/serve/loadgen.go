@@ -241,13 +241,18 @@ func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
 		req.Frames = cfg.Frames
 		req.Seed = cfg.Seed + int64(i)
 	}
-	buf, _ := json.Marshal(req)
+	buf, err := json.Marshal(req)
+	if err != nil {
+		return "", fmt.Errorf("encoding session request: %w", err)
+	}
 	resp, err := client.Post(cfg.BaseURL+"/v1/sessions", "application/json", bytes.NewReader(buf))
 	if err != nil {
 		return "", fmt.Errorf("creating session: %w", err)
 	}
+	//asvlint:ignore droppederr response body close error is not actionable in a load generator
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusCreated {
+		//asvlint:ignore droppederr body is best-effort color for the error message below
 		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
 		return "", fmt.Errorf("creating session: %s: %s", resp.Status, body)
 	}
@@ -274,6 +279,7 @@ func submitFrame(client *http.Client, baseURL, id string, body io.Reader, conten
 	if err != nil {
 		return 0, false, err
 	}
+	//asvlint:ignore droppederr response body close error is not actionable in a load generator
 	defer resp.Body.Close()
 	if resp.StatusCode == http.StatusOK {
 		var fr FrameResponse
@@ -282,6 +288,7 @@ func submitFrame(client *http.Client, baseURL, id string, body io.Reader, conten
 		}
 		return resp.StatusCode, fr.IsKey, nil
 	}
+	//asvlint:ignore droppederr best-effort drain so the connection can be reused
 	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	return resp.StatusCode, false, nil
 }

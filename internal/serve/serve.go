@@ -141,6 +141,10 @@ type Server struct {
 	httpSrv *http.Server // set by Start; nil when mounted via Handler
 	started time.Time
 
+	// serveErr holds the first non-graceful error from Start's accept loop,
+	// reported by Close.
+	serveErr chan error
+
 	janitorStop chan struct{}
 
 	// draining flips once at Close; handlers then refuse new work with 503.
@@ -180,6 +184,7 @@ func New(matcher core.KeyMatcher, cfg Config) *Server {
 		cfg:         cfg.withDefaults(),
 		matcher:     matcher,
 		started:     time.Now(),
+		serveErr:    make(chan error, 1),
 		janitorStop: make(chan struct{}),
 	}
 	s.tab = newSessionTable(s.cfg.MaxSessions)
@@ -202,7 +207,16 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	}
 	srv := &http.Server{Handler: s.mux}
 	s.httpSrv = srv
-	go srv.Serve(ln)
+	go func() {
+		// Serve returns ErrServerClosed on graceful Shutdown; anything else
+		// is a real accept-loop failure, surfaced by Close.
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			select {
+			case s.serveErr <- err:
+			default:
+			}
+		}
+	}()
 	return ln.Addr(), nil
 }
 
@@ -220,6 +234,13 @@ func (s *Server) Close(ctx context.Context) error {
 		// Every admitted frame has its reply by now, so handlers unwind
 		// promptly; Shutdown just quiesces the HTTP layer.
 		err = s.httpSrv.Shutdown(ctx)
+	}
+	// An accept-loop failure recorded by Start outranks a shutdown hiccup:
+	// it means the server died before Close was ever called.
+	select {
+	case serr := <-s.serveErr:
+		return serr
+	default:
 	}
 	return err
 }
@@ -587,6 +608,7 @@ func (s *Server) decodePair(r *http.Request) (left, right *imgproc.Image, err er
 	if err := r.ParseMultipartForm(limit); err != nil {
 		return nil, nil, fmt.Errorf("parsing multipart upload: %w", err)
 	}
+	//asvlint:ignore droppederr best-effort temp-file cleanup; decode already has the bytes
 	defer r.MultipartForm.RemoveAll()
 	for _, name := range []string{"left", "right"} {
 		f, _, err := r.FormFile(name)
@@ -594,6 +616,7 @@ func (s *Server) decodePair(r *http.Request) (left, right *imgproc.Image, err er
 			return nil, nil, fmt.Errorf("missing %q image part: %w", name, err)
 		}
 		im, err := s.decodeImage(f)
+		//asvlint:ignore droppederr read-only multipart part; decode result is what matters
 		f.Close()
 		if err != nil {
 			return nil, nil, fmt.Errorf("decoding %q: %w", name, err)
@@ -649,6 +672,7 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	w.WriteHeader(status)
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
+	//asvlint:ignore droppederr an encode failure mid-reply means the client hung up; no recovery
 	enc.Encode(v)
 }
 

@@ -96,6 +96,7 @@ func OpenStore(t testing.TB, path string) *Store {
 		}
 		t.Fatalf("testkit: opening golden store: %v (run `go test -update` to create it)", err)
 	}
+	//asvlint:ignore droppederr read-only file; scanner errors are checked below
 	defer f.Close()
 	sc := bufio.NewScanner(f)
 	for sc.Scan() {

@@ -129,10 +129,13 @@ func MeasureServeLoad(bc ServeBenchConfig) (ServeBenchDoc, error) {
 		doc.ServeCounters = srv.CountersSnapshot()
 	}
 	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
-	srv.Close(ctx)
+	cerr := srv.Close(ctx)
 	cancel()
 	if err != nil {
 		return doc, fmt.Errorf("normal phase: %w", err)
+	}
+	if cerr != nil {
+		return doc, fmt.Errorf("normal phase close: %w", cerr)
 	}
 
 	// Overload phase: tiny queue, one worker, unpaced clients.
@@ -152,10 +155,13 @@ func MeasureServeLoad(bc ServeBenchConfig) (ServeBenchDoc, error) {
 		W: bc.W, H: bc.H, PW: bc.PW,
 	})
 	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
-	osrv.Close(ctx)
+	cerr = osrv.Close(ctx)
 	cancel()
 	if err != nil {
 		return doc, fmt.Errorf("overload phase: %w", err)
+	}
+	if cerr != nil {
+		return doc, fmt.Errorf("overload phase close: %w", cerr)
 	}
 	return doc, nil
 }
