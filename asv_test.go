@@ -102,8 +102,8 @@ func TestSimulationPublicAPI(t *testing.T) {
 	if len(nets) != 4 {
 		t.Fatalf("expected 4 stereo DNNs, got %d", len(nets))
 	}
-	base := acc.RunNetwork(nets[0], PolicyBaseline)
-	opt := acc.RunNetwork(nets[0], PolicyILAR)
+	base := acc.RunNetwork(nets[0], RunOptions{Policy: PolicyBaseline})
+	opt := acc.RunNetwork(nets[0], RunOptions{Policy: PolicyILAR})
 	if opt.Cycles >= base.Cycles {
 		t.Fatal("DCO should beat the baseline")
 	}

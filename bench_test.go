@@ -22,7 +22,6 @@ import (
 	"asv/internal/pipeline"
 	"asv/internal/schedule"
 	"asv/internal/stereo"
-	"asv/internal/systolic"
 	"asv/internal/tensor"
 )
 
@@ -335,10 +334,10 @@ func BenchmarkSchedulerOptimizeLayer(b *testing.B) {
 
 func BenchmarkSchedulerWholeNetwork(b *testing.B) {
 	n := nn.FlowNetC(nn.QHDH, nn.QHDW)
-	acc := systolic.Default()
+	acc := DefaultAccelerator()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		acc.RunNetwork(n, systolic.PolicyILAR)
+		acc.RunNetwork(n, RunOptions{Policy: PolicyILAR})
 	}
 }
 

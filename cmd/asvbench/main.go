@@ -26,10 +26,11 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,sec71,sec33,pipeline,serve,all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,backends,sec71,sec33,pipeline,serve,all)")
 	scale := flag.String("scale", "quick", "dataset scale for accuracy experiments (quick|full)")
 	list := flag.Bool("list", false, "list available experiments and exit")
-	flag.StringVar(&jsonPath, "json", "", "with -exp pipeline: also write the measurements to this JSON file")
+	backendName := flag.String("backend", "", "run the network-zoo cost sweep on one registered backend ("+strings.Join(asv.BackendNames(), "|")+") and exit")
+	flag.StringVar(&jsonPath, "json", "", "with -exp pipeline/serve/backends: also write the measurements to this JSON file")
 	flag.StringVar(&format, "format", "table", "output format (table|csv)")
 	flag.Parse()
 	if format != "table" && format != "csv" {
@@ -43,6 +44,16 @@ func main() {
 		}
 		fmt.Println("pipeline   serial vs concurrent streaming-runtime throughput (-json writes BENCH_pipeline.json)")
 		fmt.Println("serve      depth-serving latency percentiles + backpressure (-json writes BENCH_serve.json)")
+		return
+	}
+
+	if *backendName != "" {
+		if _, err := asv.BackendByName(*backendName); err != nil {
+			fmt.Fprintln(os.Stderr, "asvbench:", err)
+			os.Exit(2)
+		}
+		backendsTable(fmt.Sprintf("Backend %q: network zoo x supported policies", *backendName),
+			asv.ExperimentBackendsFor(*backendName))
 		return
 	}
 
@@ -67,6 +78,7 @@ func main() {
 		"fig12":          func(asv.ExpScale) { fig12() },
 		"fig13":          func(asv.ExpScale) { fig13() },
 		"fig14":          func(asv.ExpScale) { fig14() },
+		"backends":       func(asv.ExpScale) { backendsExp() },
 		"sec71":          func(asv.ExpScale) { sec71() },
 		"sec33":          func(asv.ExpScale) { sec33() },
 		"ablation-me":    ablationME,
@@ -78,7 +90,8 @@ func main() {
 	}
 	order := []string{"fig1", "fig3", "fig4", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "sec71", "sec33",
-		"ablation-me", "ablation-param", "ablation-key", "ablation-order"}
+		"ablation-me", "ablation-param", "ablation-key", "ablation-order",
+		"backends"}
 
 	if *exp == "all" {
 		for _, name := range order {
@@ -228,6 +241,60 @@ func fig14() {
 	}
 	table("Fig 14: GANs vs Eyeriss (paper: ASV 5.0/4.2, GANNX 3.6/3.2)",
 		[]string{"GAN", "ASV-x", "ASV-en-x", "GANNX-x", "GANNX-en-x"}, rows)
+}
+
+// backendsTable renders a registry-sweep row set.
+func backendsTable(title string, rows []asv.BackendRow) {
+	var tr [][]string
+	for _, r := range rows {
+		tr = append(tr, []string{r.Backend, r.Net, r.Policy,
+			fmt.Sprintf("%.2f", r.FPS), fmt.Sprintf("%.2f", r.EnergyMJ),
+			fmt.Sprintf("%.2f", r.GMACs), fmt.Sprintf("%.1f", r.DRAMMB)})
+	}
+	table(title,
+		[]string{"backend", "network", "policy", "FPS", "energy-mJ", "GMACs", "DRAM-MiB"}, tr)
+}
+
+// backendsDoc is the top-level record of BENCH_backends.json.
+type backendsDoc struct {
+	Backends []backendDesc    `json:"backends"`
+	Rows     []asv.BackendRow `json:"rows"`
+}
+
+type backendDesc struct {
+	Name     string   `json:"name"`
+	Summary  string   `json:"summary"`
+	Policies []string `json:"policies"`
+	ISM      bool     `json:"ism"`
+}
+
+func backendsExp() {
+	rows := asv.ExperimentBackends()
+	backendsTable("Backend registry sweep: every model x network x supported policy", rows)
+
+	if jsonPath == "" {
+		return
+	}
+	var doc backendsDoc
+	for _, b := range asv.Backends() {
+		d := b.Describe()
+		bd := backendDesc{Name: d.Name, Summary: d.Summary, ISM: d.Caps.ISM}
+		for _, p := range d.Caps.Policies {
+			bd.Policies = append(bd.Policies, p.String())
+		}
+		doc.Backends = append(doc.Backends, bd)
+	}
+	doc.Rows = rows
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "encode:", err)
+		os.Exit(1)
+	}
+	if err := os.WriteFile(jsonPath, append(buf, '\n'), 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "write:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\nwrote %s\n", jsonPath)
 }
 
 func sec71() {

@@ -1,12 +1,14 @@
-// Command asvsched compiles one network onto the ASV accelerator under a
-// chosen scheduling policy and dumps the per-layer schedule: cycles, MACs,
-// DRAM traffic and rounds. It is the inspection tool for the dataflow
-// optimizer of paper Sec. 4.2.
+// Command asvsched compiles one network onto an accelerator backend under a
+// chosen scheduling policy and dumps the resulting cost report — including
+// the per-layer schedule (cycles, MACs, DRAM traffic, rounds) on backends
+// that expose one. It is the inspection tool for the dataflow optimizer of
+// paper Sec. 4.2.
 //
 // Usage:
 //
 //	asvsched -net FlowNetC -policy ilar
 //	asvsched -net DCGAN -policy baseline -h 540 -w 960
+//	asvsched -net DispNet -backend eyeriss -policy dct
 package main
 
 import (
@@ -34,6 +36,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("asvsched", flag.ContinueOnError)
 	fs.SetOutput(out)
 	netName := fs.String("net", "FlowNetC", "network (FlowNetC, DispNet, GC-Net, PSMNet, DCGAN, GP-GAN, ArtGAN, MAGAN, 3D-GAN, DiscoGAN)")
+	backendName := fs.String("backend", "systolic", "accelerator backend ("+strings.Join(asv.BackendNames(), "|")+")")
 	policy := fs.String("policy", "ilar", "scheduling policy (baseline|dct|convr|ilar)")
 	height := fs.Int("h", asv.QHDH, "input height (stereo networks)")
 	width := fs.Int("w", asv.QHDW, "input width (stereo networks)")
@@ -58,14 +61,9 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("unknown network %q", *netName)
 	}
 
-	pol, ok := map[string]asv.Policy{
-		"baseline": asv.PolicyBaseline,
-		"dct":      asv.PolicyDCT,
-		"convr":    asv.PolicyConvR,
-		"ilar":     asv.PolicyILAR,
-	}[strings.ToLower(*policy)]
-	if !ok {
-		return fmt.Errorf("unknown policy %q", *policy)
+	pol, err := asv.ParsePolicy(strings.ToLower(*policy))
+	if err != nil {
+		return err
 	}
 
 	if *summary {
@@ -73,8 +71,16 @@ func run(args []string, out io.Writer) error {
 		return nil
 	}
 
-	acc := asv.DefaultAccelerator()
-	rep := acc.RunNetwork(net, pol)
+	be, err := asv.BackendByName(*backendName)
+	if err != nil {
+		return err
+	}
+	// The validating entry point: asking e.g. eyeriss for ILAR returns a
+	// typed capability error instead of a silently wrong report.
+	rep, err := asv.RunOnBackend(be, net, asv.RunOptions{Policy: pol})
+	if err != nil {
+		return err
+	}
 
 	if *asJSON {
 		enc := json.NewEncoder(out)
@@ -82,16 +88,20 @@ func run(args []string, out io.Writer) error {
 		return enc.Encode(rep)
 	}
 
-	fmt.Fprintf(out, "%s under policy %v on 24x24 PEs / 1.5 MB / 25.6 GB/s\n\n", net.Name, pol)
-	w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
-	fmt.Fprintln(w, "layer\tkind\tcycles\tMACs\tDRAM-MB\trounds")
-	for i, r := range rep.PerLayer {
-		l := net.Layers[i]
-		fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%.2f\t%d\n",
-			r.Name, l.Kind, r.Cycles, r.MACs, float64(r.DRAMBytes)/1e6, r.Rounds)
-	}
-	if err := w.Flush(); err != nil {
-		return err
+	fmt.Fprintf(out, "%s under policy %v on %s\n\n", net.Name, pol, be.Describe().Summary)
+	if len(rep.PerLayer) > 0 {
+		w := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+		fmt.Fprintln(w, "layer\tkind\tcycles\tMACs\tDRAM-MB\trounds")
+		for i, r := range rep.PerLayer {
+			l := net.Layers[i]
+			fmt.Fprintf(w, "%s\t%v\t%d\t%d\t%.2f\t%d\n",
+				r.Name, l.Kind, r.Cycles, r.MACs, float64(r.DRAMBytes)/1e6, r.Rounds)
+		}
+		if err := w.Flush(); err != nil {
+			return err
+		}
+	} else {
+		fmt.Fprintf(out, "(backend %q reports aggregate costs only — no per-layer schedule)\n", be.Name())
 	}
 
 	fmt.Fprintf(out, "\ntotal: %.3f ms, %.2f GMACs, %.1f MB DRAM, %.3f J (%.1f FPS)\n",

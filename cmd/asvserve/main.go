@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
@@ -50,6 +51,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	pw := fs.Int("pw", 0, "default propagation window for new sessions (0 = default)")
 	maxPixels := fs.Int("max-pixels", 0, "per-image upload pixel cap, oversize gets 413 (0 = default)")
 	pprofOn := fs.Bool("pprof", false, "mount net/http/pprof under /debug/pprof/")
+	backendName := fs.String("backend", "systolic",
+		fmt.Sprintf("accelerator model for the /metrics per-frame cost estimate (%s; empty disables)",
+			strings.Join(asv.BackendNames(), "|")))
 	matcherName := fs.String("matcher", "bm", "key-frame matcher (bm|sgm)")
 	maxDisp := fs.Int("maxdisp", 24, "matcher disparity search range")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work at shutdown")
@@ -97,6 +101,14 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 		cfg.MaxPixels = *maxPixels
 	}
 	cfg.EnablePprof = *pprofOn
+	if *backendName != "" {
+		be, err := asv.BackendByName(*backendName)
+		if err != nil {
+			return err
+		}
+		cfg.CostBackend = be
+		cfg.CostNonKey = asv.DefaultNonKeyCost()
+	}
 
 	srv := asv.NewServeServer(matcher, cfg)
 	bound, err := srv.Start(*addr)

@@ -79,11 +79,11 @@ func ExampleTransformedDeconv2D() {
 }
 
 // The accelerator model compares scheduling policies on a real network.
-func ExampleAccelerator_RunNetwork() {
+func ExampleBackend_RunNetwork() {
 	acc := asv.DefaultAccelerator()
 	net := asv.StereoDNNs(135, 240)[1] // DispNet at reduced resolution
-	base := acc.RunNetwork(net, asv.PolicyBaseline)
-	opt := acc.RunNetwork(net, asv.PolicyILAR)
+	base := acc.RunNetwork(net, asv.RunOptions{Policy: asv.PolicyBaseline})
+	opt := acc.RunNetwork(net, asv.RunOptions{Policy: asv.PolicyILAR})
 	fmt.Println("DCO faster:", opt.Cycles < base.Cycles)
 	fmt.Println("DCO cheaper:", opt.EnergyJ < base.EnergyJ)
 	// Output:

@@ -30,8 +30,8 @@ func main() {
 			cfg.PEsX, cfg.PEsY = pe, pe
 			cfg.BufBytes = int64(mb * 1024 * 1024)
 			acc := asv.NewAccelerator(cfg, asv.DefaultEnergyModel())
-			base := acc.RunNetwork(net, asv.PolicyBaseline)
-			dco := acc.RunNetwork(net, asv.PolicyILAR)
+			base := acc.RunNetwork(net, asv.RunOptions{Policy: asv.PolicyBaseline})
+			dco := acc.RunNetwork(net, asv.RunOptions{Policy: asv.PolicyILAR})
 			fmt.Printf("  %4.2fx/%2.0f%%",
 				float64(base.Cycles)/float64(dco.Cycles),
 				100*(1-dco.EnergyJ/base.EnergyJ))

@@ -55,16 +55,16 @@ func main() {
 	eye := asv.DefaultEyeriss()
 	gx := asv.DefaultGANNX()
 	fmt.Println("\nsystem                per-inference     vs Eyeriss")
-	ref2 := eye.RunNetwork(dcgan, false)
+	ref2 := eye.RunNetwork(dcgan, asv.RunOptions{Policy: asv.PolicyBaseline})
 	for _, row := range []struct {
 		name string
 		rep  asv.Report
 	}{
 		{"Eyeriss", ref2},
-		{"GANNX (dedicated HW)", gx.RunNetwork(dcgan)},
-		{"ASV baseline", acc.RunNetwork(dcgan, asv.PolicyBaseline)},
-		{"ASV + DCT", acc.RunNetwork(dcgan, asv.PolicyDCT)},
-		{"ASV + DCT + ILAR", acc.RunNetwork(dcgan, asv.PolicyILAR)},
+		{"GANNX (dedicated HW)", gx.RunNetwork(dcgan, asv.RunOptions{})},
+		{"ASV baseline", acc.RunNetwork(dcgan, asv.RunOptions{Policy: asv.PolicyBaseline})},
+		{"ASV + DCT", acc.RunNetwork(dcgan, asv.RunOptions{Policy: asv.PolicyDCT})},
+		{"ASV + DCT + ILAR", acc.RunNetwork(dcgan, asv.RunOptions{Policy: asv.PolicyILAR})},
 	} {
 		fmt.Printf("%-21s %9.3f ms     %5.2fx\n",
 			row.name, row.rep.Seconds*1e3, ref2.Seconds/row.rep.Seconds)

@@ -5,31 +5,21 @@ import (
 
 	"asv/internal/core"
 	"asv/internal/dataset"
-	"asv/internal/eyeriss"
-	"asv/internal/gannx"
-	"asv/internal/gpu"
 	"asv/internal/hw"
 	"asv/internal/nn"
 	"asv/internal/stereo"
-	"asv/internal/systolic"
 )
 
 // This file regenerates every table and figure of the paper's evaluation.
 // Each ExperimentFigN function returns structured rows; cmd/asvbench and
 // the benchmark harness render them. EXPERIMENTS.md records paper-vs-
-// measured values for each.
+// measured values for each. All accelerator models are reached through the
+// backend registry (see simulate.go); no experiment imports a concrete
+// model package.
 
 // defaultNonKey returns the ISM non-key cost at qHD on the default
 // pipeline configuration.
-func defaultNonKey() systolic.NonKeyCost {
-	p := core.New(nil, core.DefaultConfig())
-	am, so := p.NonKeyBreakdown(nn.QHDW, nn.QHDH)
-	return systolic.NonKeyCost{
-		ArrayMACs:  am,
-		ScalarOps:  so,
-		FrameBytes: int64(7 * nn.QHDW * nn.QHDH * 2),
-	}
-}
+func defaultNonKey() NonKeyCost { return DefaultNonKeyCost() }
 
 // ---------------------------------------------------------------- Fig. 1
 
@@ -46,9 +36,10 @@ type FrontierPoint struct {
 // the accelerator), the four stereo DNNs on the mobile GPU and on the
 // baseline accelerator, and the full ASV system.
 func ExperimentFig1(sc ExpScale) []FrontierPoint {
-	acc := systolic.Default()
-	tx2 := gpu.TX2()
-	util := float64(acc.Cfg.PEs()) * acc.Cfg.FreqHz * 0.75
+	acc := DefaultAccelerator()
+	tx2 := JetsonTX2()
+	cfg := hw.Default()
+	util := float64(cfg.PEs()) * cfg.FreqHz * 0.75
 
 	var pts []FrontierPoint
 
@@ -99,12 +90,12 @@ func ExperimentFig1(sc ExpScale) []FrontierPoint {
 
 	// Stereo DNNs on GPU and on the baseline accelerator.
 	for _, prof := range StereoDNNProfiles(nn.QHDH, nn.QHDW) {
-		g := tx2.RunNetwork(prof.Net)
+		g := tx2.RunNetwork(prof.Net, RunOptions{})
 		pts = append(pts, FrontierPoint{
 			Name: prof.Name + "-GPU", Class: "dnn-gpu",
 			ErrorPct: prof.ErrRatePct, FPS: g.FPS(),
 		})
-		b := acc.RunNetwork(prof.Net, systolic.PolicyBaseline)
+		b := acc.RunNetwork(prof.Net, RunOptions{Policy: PolicyBaseline})
 		pts = append(pts, FrontierPoint{
 			Name: prof.Name + "-Acc", Class: "dnn-acc",
 			ErrorPct: prof.ErrRatePct, FPS: b.FPS(),
@@ -116,7 +107,7 @@ func ExperimentFig1(sc ExpScale) []FrontierPoint {
 	profiles := StereoDNNProfiles(nn.QHDH, nn.QHDW)
 	dispNet := profiles[1]
 	asvErr := runAccuracy(sceneFlowConfigs(sc), dispNet, 4, sc.Seed)
-	asvRep := acc.RunISM(dispNet.Net, systolic.PolicyILAR, 4, defaultNonKey())
+	asvRep := acc.RunNetwork(dispNet.Net, RunOptions{Policy: PolicyILAR, PW: 4, NonKey: defaultNonKey()})
 	pts = append(pts, FrontierPoint{
 		Name: "ASV", Class: "asv",
 		ErrorPct: asvErr, FPS: asvRep.FPS(),
@@ -219,15 +210,15 @@ type SpeedupRow struct {
 // deconvolution optimizations (DCO) alone, and both, against the baseline
 // accelerator (paper: 4.9x speedup, 85% energy saving combined, PW-4).
 func ExperimentFig10() []SpeedupRow {
-	acc := systolic.Default()
+	acc := DefaultAccelerator()
 	nk := defaultNonKey()
 	var rows []SpeedupRow
 	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
-		base := acc.RunNetwork(n, systolic.PolicyBaseline)
-		dco := acc.RunNetwork(n, systolic.PolicyILAR)
-		ism := acc.RunISM(n, systolic.PolicyBaseline, 4, nk)
-		both := acc.RunISM(n, systolic.PolicyILAR, 4, nk)
-		add := func(v string, r systolic.Report) {
+		base := acc.RunNetwork(n, RunOptions{Policy: PolicyBaseline})
+		dco := acc.RunNetwork(n, RunOptions{Policy: PolicyILAR})
+		ism := acc.RunNetwork(n, RunOptions{Policy: PolicyBaseline, PW: 4, NonKey: nk})
+		both := acc.RunNetwork(n, RunOptions{Policy: PolicyILAR, PW: 4, NonKey: nk})
+		add := func(v string, r Report) {
 			rows = append(rows, SpeedupRow{
 				Net: n.Name, Variant: v,
 				Speedup:      base.Seconds / r.Seconds,
@@ -258,14 +249,14 @@ type DeconvOptRow struct {
 // transformation only (DCT), plus conventional reuse (ConvR), plus
 // inter-layer activation reuse (ILAR).
 func ExperimentFig11() []DeconvOptRow {
-	acc := systolic.Default()
+	acc := DefaultAccelerator()
 	var rows []DeconvOptRow
 	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
-		base := acc.RunNetwork(n, systolic.PolicyBaseline)
-		for _, p := range []systolic.Policy{systolic.PolicyDCT, systolic.PolicyConvR, systolic.PolicyILAR} {
-			r := acc.RunNetwork(n, p)
-			name := map[systolic.Policy]string{
-				systolic.PolicyDCT: "DCT", systolic.PolicyConvR: "ConvR", systolic.PolicyILAR: "ILAR",
+		base := acc.RunNetwork(n, RunOptions{Policy: PolicyBaseline})
+		for _, p := range []Policy{PolicyDCT, PolicyConvR, PolicyILAR} {
+			r := acc.RunNetwork(n, RunOptions{Policy: p})
+			name := map[Policy]string{
+				PolicyDCT: "DCT", PolicyConvR: "ConvR", PolicyILAR: "ILAR",
 			}[p]
 			rows = append(rows, DeconvOptRow{
 				Net: n.Name, Opt: name,
@@ -304,9 +295,9 @@ func ExperimentFig12() SensitivityGrid {
 			cfg := hw.Default()
 			cfg.PEsX, cfg.PEsY = pe, pe
 			cfg.BufBytes = int64(mb * 1024 * 1024)
-			acc := systolic.New(cfg, hw.DefaultEnergy())
-			base := acc.RunNetwork(n, systolic.PolicyBaseline)
-			dco := acc.RunNetwork(n, systolic.PolicyILAR)
+			acc := NewAccelerator(cfg, hw.DefaultEnergy())
+			base := acc.RunNetwork(n, RunOptions{Policy: PolicyBaseline})
+			dco := acc.RunNetwork(n, RunOptions{Policy: PolicyILAR})
 			spRow = append(spRow, float64(base.Cycles)/float64(dco.Cycles))
 			enRow = append(enRow, 1-dco.EnergyJ/base.EnergyJ)
 		}
@@ -328,9 +319,9 @@ type BaselineRow struct {
 // ExperimentFig13 reproduces the Eyeriss/GPU comparison, averaged over the
 // four stereo DNNs and normalized to plain Eyeriss.
 func ExperimentFig13() []BaselineRow {
-	acc := systolic.Default()
-	eye := eyeriss.Default()
-	tx2 := gpu.TX2()
+	acc := DefaultAccelerator()
+	eye := DefaultEyeriss()
+	tx2 := JetsonTX2()
 	nk := defaultNonKey()
 
 	sums := map[string][2]float64{}
@@ -339,19 +330,19 @@ func ExperimentFig13() []BaselineRow {
 		sums[name] = [2]float64{v[0] + sp, v[1] + en}
 	}
 	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
-		ref := eye.RunNetwork(n, false)
-		rate := func(r systolic.Report) (float64, float64) {
+		ref := eye.RunNetwork(n, RunOptions{Policy: PolicyBaseline})
+		rate := func(r Report) (float64, float64) {
 			return ref.Seconds / r.Seconds, r.EnergyJ / ref.EnergyJ
 		}
-		sp, en := rate(acc.RunNetwork(n, systolic.PolicyILAR))
+		sp, en := rate(acc.RunNetwork(n, RunOptions{Policy: PolicyILAR}))
 		add("ASV-DCO", sp, en)
-		sp, en = rate(acc.RunISM(n, systolic.PolicyBaseline, 4, nk))
+		sp, en = rate(acc.RunNetwork(n, RunOptions{Policy: PolicyBaseline, PW: 4, NonKey: nk}))
 		add("ASV-ISM", sp, en)
-		sp, en = rate(acc.RunISM(n, systolic.PolicyILAR, 4, nk))
+		sp, en = rate(acc.RunNetwork(n, RunOptions{Policy: PolicyILAR, PW: 4, NonKey: nk}))
 		add("ASV-DCO+ISM", sp, en)
-		sp, en = rate(eye.RunNetwork(n, true))
+		sp, en = rate(eye.RunNetwork(n, RunOptions{Policy: PolicyDCT}))
 		add("Eyeriss+DCT", sp, en)
-		sp, en = rate(tx2.RunNetwork(n))
+		sp, en = rate(tx2.RunNetwork(n, RunOptions{}))
 		add("GPU", sp, en)
 	}
 	order := []string{"ASV-DCO", "ASV-ISM", "ASV-DCO+ISM", "Eyeriss+DCT", "GPU"}
@@ -378,14 +369,14 @@ type GANRow struct {
 // ExperimentFig14 reproduces the GAN generality study (paper: ASV 5.0x /
 // 4.2x vs GANNX 3.6x / 3.2x, both over Eyeriss).
 func ExperimentFig14() []GANRow {
-	acc := systolic.Default()
-	eye := eyeriss.Default()
-	gx := gannx.Default()
+	acc := DefaultAccelerator()
+	eye := DefaultEyeriss()
+	gx := DefaultGANNX()
 	var rows []GANRow
 	for _, n := range nn.GANZoo() {
-		ref := eye.RunNetwork(n, false)
-		a := acc.RunNetwork(n, systolic.PolicyILAR)
-		g := gx.RunNetwork(n)
+		ref := eye.RunNetwork(n, RunOptions{Policy: PolicyBaseline})
+		a := acc.RunNetwork(n, RunOptions{Policy: PolicyILAR})
+		g := gx.RunNetwork(n, RunOptions{})
 		rows = append(rows, GANRow{
 			GAN:            n.Name,
 			ASVSpeedup:     ref.Seconds / a.Seconds,
@@ -395,6 +386,82 @@ func ExperimentFig14() []GANRow {
 		})
 	}
 	return rows
+}
+
+// ------------------------------------------------------------- Backends
+
+// BackendRow is one (backend, workload, policy) cell of the registry-wide
+// cost sweep: every registered accelerator model run over the stereo and
+// GAN zoos under each policy its capabilities allow, plus — for
+// ISM-capable backends — the averaged PW-4 system point.
+type BackendRow struct {
+	Backend  string  `json:"backend"`
+	Net      string  `json:"net"`
+	Policy   string  `json:"policy"` // policy name; "+ism-pw4" suffix for the system point
+	FPS      float64 `json:"fps"`
+	EnergyMJ float64 `json:"energy_mj"` // per-frame energy in millijoules
+	GMACs    float64 `json:"gmacs"`     // per-frame effective MACs, in billions
+	DRAMMB   float64 `json:"dram_mib"`  // per-frame off-chip traffic, in MiB
+}
+
+// ExperimentBackends sweeps the whole backend registry — the cross-model
+// comparison Figs. 13 and 14 sample, as one table. Rows are emitted in
+// deterministic order: backends sorted by name, networks in zoo order,
+// policies in capability order.
+func ExperimentBackends() []BackendRow {
+	return ExperimentBackendsFor(BackendNames()...)
+}
+
+// ExperimentBackendsFor restricts the sweep to the named backends (asvbench
+// -backend). Unknown names are skipped; callers validate with
+// BackendByName first for a helpful error.
+func ExperimentBackendsFor(names ...string) []BackendRow {
+	nk := defaultNonKey()
+	var rows []BackendRow
+	nets := append(nn.StereoZoo(nn.QHDH, nn.QHDW), nn.GANZoo()...)
+	stereoSet := make(map[string]bool)
+	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
+		stereoSet[n.Name] = true
+	}
+	for _, name := range names {
+		b, err := BackendByName(name)
+		if err != nil {
+			continue
+		}
+		d := b.Describe()
+		for _, n := range nets {
+			for _, p := range d.Caps.Policies {
+				r, err := RunOnBackend(b, n, RunOptions{Policy: p})
+				if err != nil {
+					panic(err) // policy came from the capability set
+				}
+				rows = append(rows, backendRow(d.Name, n.Name, p.String(), r))
+			}
+			// The full-system point: best policy + ISM PW-4. Only meaningful
+			// for the stereo networks ISM serves.
+			if d.Caps.ISM && stereoSet[n.Name] {
+				best := d.Caps.Policies[len(d.Caps.Policies)-1]
+				r, err := RunOnBackend(b, n, RunOptions{Policy: best, PW: 4, NonKey: nk})
+				if err != nil {
+					panic(err)
+				}
+				rows = append(rows, backendRow(d.Name, n.Name, best.String()+"+ism-pw4", r))
+			}
+		}
+	}
+	return rows
+}
+
+func backendRow(be, net, pol string, r Report) BackendRow {
+	return BackendRow{
+		Backend:  be,
+		Net:      net,
+		Policy:   pol,
+		FPS:      r.FPS(),
+		EnergyMJ: r.EnergyJ * 1e3,
+		GMACs:    float64(r.MACs) / 1e9,
+		DRAMMB:   float64(r.DRAMBytes) / (1024 * 1024),
+	}
 }
 
 // ------------------------------------------------------------- Sec. 7.1
@@ -437,6 +504,7 @@ func ExperimentIndex() []string {
 		"fig12: DCO sensitivity to PE-array and buffer size (FlowNetC)",
 		"fig13: ASV vs Eyeriss vs mobile GPU",
 		"fig14: GANs — ASV vs GANNX (normalized to Eyeriss)",
+		"backends: every registered backend x network zoo x supported policy",
 		"sec71: hardware overhead of the ISM extensions",
 		"sec33: non-key frame cost vs DNN inference cost",
 		"ablation-me: motion-estimation algorithm choice (Sec 3.3)",

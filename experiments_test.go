@@ -282,8 +282,8 @@ func TestExperimentFig1QuickShape(t *testing.T) {
 
 func TestExperimentIndexComplete(t *testing.T) {
 	idx := ExperimentIndex()
-	if len(idx) != 15 {
-		t.Fatalf("expected 15 experiments, got %d", len(idx))
+	if len(idx) != 16 {
+		t.Fatalf("expected 16 experiments, got %d", len(idx))
 	}
 }
 

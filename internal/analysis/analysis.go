@@ -63,6 +63,7 @@ func All() []*Analyzer {
 		AnalyzerDetGolden,
 		AnalyzerMutexCopy,
 		AnalyzerAtomicAlign,
+		AnalyzerArchLayer,
 	}
 }
 

@@ -119,6 +119,27 @@ func TestMutexCopyFixture(t *testing.T) {
 	runFixture(t, fixtureDir(t, "mutexcopy"), "asv/internal/analysis/testdata/mutexcopy", All())
 }
 
+func TestArchLayerFixture(t *testing.T) {
+	// Loaded under a neutral path, so the layering rule applies.
+	runFixture(t, fixtureDir(t, "archlayer"), "asv/internal/analysis/testdata/archlayer", All())
+}
+
+// The archlayer rule must not fire inside the one subtree that is allowed
+// to import the concrete models: the same fixture loaded as an
+// internal/backend package produces no findings.
+func TestArchLayerSilentInsideBackendSubtree(t *testing.T) {
+	loader := NewLoader()
+	for _, path := range []string{"asv/internal/backend", "asv/internal/backend/backends"} {
+		pass, err := loader.LoadDir(fixtureDir(t, "archlayer"), path)
+		if err != nil {
+			t.Fatalf("loading archlayer fixture as %s: %v", path, err)
+		}
+		if diags := Run(pass, []*Analyzer{AnalyzerArchLayer}); len(diags) != 0 {
+			t.Errorf("archlayer fired inside %s: %v", path, diags)
+		}
+	}
+}
+
 // The detgolden and golocked rules must stay silent outside their target
 // packages: the same fixtures loaded under a neutral path produce none of
 // their findings.

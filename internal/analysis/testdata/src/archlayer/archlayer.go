@@ -1,0 +1,15 @@
+// Package archlayer seeds layering violations for the archlayer rule:
+// direct imports of the concrete accelerator-model packages from a package
+// outside the internal/backend subtree. The same fixture is also loaded
+// under an internal/backend import path, where every one of these imports
+// is legal and the rule must stay silent.
+package archlayer
+
+import (
+	_ "asv/internal/backend" // clean: the neutral interface is the sanctioned dependency
+
+	_ "asv/internal/eyeriss"  // want `\[archlayer\] import of accelerator model asv/internal/eyeriss`
+	_ "asv/internal/gannx"    // want `\[archlayer\] import of accelerator model asv/internal/gannx`
+	_ "asv/internal/gpu"      // want `\[archlayer\] import of accelerator model asv/internal/gpu`
+	_ "asv/internal/systolic" // want `\[archlayer\] import of accelerator model asv/internal/systolic`
+)

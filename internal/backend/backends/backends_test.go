@@ -1,0 +1,67 @@
+package backends
+
+import (
+	"testing"
+
+	"asv/internal/backend"
+	"asv/internal/nn"
+)
+
+func TestAllModelsRegistered(t *testing.T) {
+	want := []string{"eyeriss", "gannx", "gpu", "systolic"} // sorted
+	got := backend.Names()
+	if len(got) != len(want) {
+		t.Fatalf("registered %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("registered %v, want %v", got, want)
+		}
+	}
+	for _, name := range want {
+		b, err := backend.Get(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b.Name() != name || b.Describe().Name != name {
+			t.Errorf("%s: Name/Describe mismatch (%q, %q)", name, b.Name(), b.Describe().Name)
+		}
+		if len(b.Describe().Caps.Policies) == 0 {
+			t.Errorf("%s: no supported policies", name)
+		}
+	}
+}
+
+func TestEveryBackendRunsItsCapabilitySet(t *testing.T) {
+	n := nn.DispNet(68, 120) // small shape: this is a wiring test, not a sweep
+	for _, b := range backend.List() {
+		d := b.Describe()
+		for _, pol := range d.Caps.Policies {
+			rep, err := backend.Run(b, n, backend.RunOptions{Policy: pol})
+			if err != nil {
+				t.Errorf("%s/%v: %v", d.Name, pol, err)
+				continue
+			}
+			if rep.Seconds <= 0 || rep.EnergyJ <= 0 || rep.MACs <= 0 {
+				t.Errorf("%s/%v: degenerate report %+v", d.Name, pol, rep)
+			}
+		}
+		if d.Caps.ISM {
+			rep, err := backend.Run(b, n, backend.RunOptions{
+				Policy: d.Caps.Policies[len(d.Caps.Policies)-1],
+				PW:     4,
+				NonKey: DefaultNonKey(),
+			})
+			if err != nil || rep.Seconds <= 0 {
+				t.Errorf("%s ISM run: %v %+v", d.Name, err, rep)
+			}
+		}
+	}
+}
+
+func TestDefaultNonKeyIsPopulated(t *testing.T) {
+	nk := DefaultNonKey()
+	if nk.ArrayMACs <= 0 || nk.ScalarOps <= 0 || nk.FrameBytes <= 0 {
+		t.Fatalf("degenerate default non-key cost: %+v", nk)
+	}
+}

@@ -1,0 +1,88 @@
+package backend
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Registry is a name-keyed set of backends with deterministic iteration
+// order (sorted names). The zero value is not usable; call NewRegistry.
+type Registry struct {
+	mu sync.RWMutex
+	m  map[string]Backend
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry { return &Registry{m: map[string]Backend{}} }
+
+// Register adds b under b.Name(). Registering an empty name or a name that
+// is already taken panics: both are wiring bugs, not runtime conditions.
+func (r *Registry) Register(b Backend) {
+	name := b.Name()
+	if name == "" {
+		panic("backend: Register with empty name")
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if _, dup := r.m[name]; dup {
+		panic(fmt.Sprintf("backend: duplicate Register(%q)", name))
+	}
+	r.m[name] = b
+}
+
+// Get returns the backend registered under name, or an error listing the
+// available names (sorted) so CLI messages are self-explanatory.
+func (r *Registry) Get(name string) (Backend, error) {
+	r.mu.RLock()
+	b, ok := r.m[name]
+	r.mu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("unknown backend %q (have %v)", name, r.Names())
+	}
+	return b, nil
+}
+
+// List returns every registered backend, sorted by name.
+func (r *Registry) List() []Backend {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	out := make([]Backend, len(names))
+	for i, name := range names {
+		out[i] = r.m[name]
+	}
+	return out
+}
+
+// Names returns the sorted registry keys.
+func (r *Registry) Names() []string {
+	r.mu.RLock()
+	defer r.mu.RUnlock()
+	names := make([]string, 0, len(r.m))
+	for name := range r.m {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Default is the process-wide registry the built-in models register into
+// (see internal/backend/backends) and the package-level helpers read.
+var Default = NewRegistry()
+
+// Register adds b to the default registry.
+func Register(b Backend) { Default.Register(b) }
+
+// Get looks b up in the default registry.
+func Get(name string) (Backend, error) { return Default.Get(name) }
+
+// List returns the default registry's backends, sorted by name.
+func List() []Backend { return Default.List() }
+
+// Names returns the default registry's sorted names.
+func Names() []string { return Default.Names() }

@@ -1,0 +1,131 @@
+// Package backend defines the neutral accelerator-model abstraction the
+// four hardware models (ASV systolic array, Eyeriss-class spatial array,
+// mobile GPU, GANNX-class deconvolution accelerator) implement: a common
+// Report cost breakdown, a RunOptions struct that subsumes every model's
+// knobs (scheduling policy, ISM propagation window), and a deterministic
+// name-keyed Registry so experiments, CLIs and the serving layer select
+// backends by name instead of by import.
+//
+// The concrete models live in their own packages and implement Backend;
+// only the backend subtree (internal/backend/backends) may import them —
+// the asvlint archlayer rule enforces that boundary. See DESIGN.md §8.
+package backend
+
+import (
+	"fmt"
+
+	"asv/internal/schedule"
+)
+
+// Policy selects how a network is compiled onto an accelerator. Not every
+// backend supports every policy: Capabilities.Policies lists what each
+// model can honor, and RunOptions.Normalize rejects the rest.
+type Policy int
+
+// Policies, in increasing order of ASV optimization.
+const (
+	// PolicyBaseline executes deconvolutions naively (dense convolution on
+	// the zero-upsampled ifmap); on GANNX, whose hardware skips the zeros,
+	// it is simply the model's native execution.
+	PolicyBaseline Policy = iota
+	// PolicyDCT applies the deconvolution transformation but keeps the
+	// baseline static partition (the "DCT" bar of Fig. 11; also the
+	// "Eyeriss+DCT" configuration of Fig. 13).
+	PolicyDCT
+	// PolicyConvR adds the per-layer reuse optimizer, scheduling each
+	// sub-convolution independently (conventional reuse only).
+	PolicyConvR
+	// PolicyILAR additionally shares the resident ifmap tile across the
+	// sub-convolutions of each transformed deconvolution (full DCO).
+	PolicyILAR
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	switch p {
+	case PolicyBaseline:
+		return "baseline"
+	case PolicyDCT:
+		return "dct"
+	case PolicyConvR:
+		return "convr"
+	case PolicyILAR:
+		return "ilar"
+	default:
+		return fmt.Sprintf("policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a policy name as used on CLI flags.
+func ParsePolicy(s string) (Policy, error) {
+	for _, p := range []Policy{PolicyBaseline, PolicyDCT, PolicyConvR, PolicyILAR} {
+		if p.String() == s {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown policy %q (baseline|dct|convr|ilar)", s)
+}
+
+// Transformed reports whether the policy applies the deconvolution
+// transformation before scheduling.
+func (p Policy) Transformed() bool { return p != PolicyBaseline }
+
+// EnergyBreakdown splits a report's energy by component.
+type EnergyBreakdown struct {
+	ComputeJ float64 // MAC / SAD / scalar arithmetic (plus NoC or control where modeled)
+	SRAMJ    float64 // on-chip buffer traffic
+	DRAMJ    float64 // off-chip traffic
+	LeakJ    float64 // static power over the run
+}
+
+// Total sums the components.
+func (e EnergyBreakdown) Total() float64 {
+	return e.ComputeJ + e.SRAMJ + e.DRAMJ + e.LeakJ
+}
+
+// Add accumulates o into e.
+func (e *EnergyBreakdown) Add(o EnergyBreakdown) {
+	e.ComputeJ += o.ComputeJ
+	e.SRAMJ += o.SRAMJ
+	e.DRAMJ += o.DRAMJ
+	e.LeakJ += o.LeakJ
+}
+
+// Report aggregates the cost of running a workload on an accelerator
+// model. Every backend fills the totals; PerLayer is populated only by
+// models that expose a per-layer schedule (the systolic array).
+type Report struct {
+	Workload  string
+	Policy    Policy
+	Cycles    int64
+	Seconds   float64
+	MACs      int64
+	DRAMBytes int64
+	SRAMBytes int64
+	EnergyJ   float64
+	Energy    EnergyBreakdown // per-component split of EnergyJ
+
+	// Deconvolution-only slice of the totals (Fig. 11a).
+	DeconvCycles  int64
+	DeconvEnergyJ float64
+
+	PerLayer []schedule.Result
+}
+
+// FPS returns the frame rate this per-frame cost sustains.
+func (r Report) FPS() float64 {
+	if r.Seconds == 0 {
+		return 0
+	}
+	return 1 / r.Seconds
+}
+
+// NonKeyCost is the arithmetic demand of one ISM non-key frame, split by
+// execution unit: convolution-like work (Gaussian pyramids, polynomial
+// expansion, SAD search) on the array versus pointwise work ("Compute
+// Flow", "Matrix Update", propagation) on the scalar unit.
+type NonKeyCost struct {
+	ArrayMACs  int64
+	ScalarOps  int64
+	FrameBytes int64 // frame/motion/disparity DRAM traffic
+}

@@ -8,16 +8,18 @@
 // pays NoC energy per MAC and maps 1×1 kernels and fully connected layers
 // poorly. The model supports the deconvolution transformation (the paper
 // extends the Eyeriss simulator with DCT for a stronger baseline) but not
-// ILAR, whose formulation targets the systolic array's unified buffer.
+// ILAR, whose formulation targets the systolic array's unified buffer —
+// its backend capabilities are PolicyBaseline and PolicyDCT only.
 package eyeriss
 
 import (
+	"fmt"
 	"math"
 
+	"asv/internal/backend"
 	"asv/internal/hw"
 	"asv/internal/nn"
 	"asv/internal/schedule"
-	"asv/internal/systolic"
 )
 
 // Model is an Eyeriss-like accelerator instance.
@@ -40,6 +42,23 @@ func New(cfg hw.Config, en hw.Energy) *Model {
 // buffer and bandwidth to the ASV accelerator.
 func Default() *Model { return New(hw.Default(), hw.DefaultEnergy()) }
 
+// Name implements backend.Backend.
+func (m *Model) Name() string { return "eyeriss" }
+
+// Describe implements backend.Backend: row-stationary mapping takes the
+// deconvolution transformation (DCT) but has no unified-buffer ILAR and no
+// ISM extensions.
+func (m *Model) Describe() backend.Description {
+	return backend.Description{
+		Name: m.Name(),
+		Summary: fmt.Sprintf("Eyeriss-class row-stationary spatial array, %dx%d PEs @ %.1f GHz, %.1f MB buffer",
+			m.Cfg.PEsX, m.Cfg.PEsY, m.Cfg.FreqHz/1e9, float64(m.Cfg.BufBytes)/(1024*1024)),
+		Caps: backend.Capabilities{
+			Policies: []backend.Policy{backend.PolicyBaseline, backend.PolicyDCT},
+		},
+	}
+}
+
 // utilization returns the sustained fraction of the PE array a layer keeps
 // busy under row-stationary mapping. Spatial mapping constraints (kernel
 // rows × ifmap rows folded onto the array) leave more bubbles than a
@@ -57,11 +76,13 @@ func utilization(taps int64) float64 {
 	}
 }
 
-// RunNetwork executes one inference. transformed selects whether the
-// deconvolution transformation is applied first (the "Eyeriss+DCT" bar of
-// Fig. 13).
-func (m *Model) RunNetwork(n *nn.Network, transformed bool) systolic.Report {
-	rep := systolic.Report{Workload: n.Name + "@eyeriss"}
+// RunNetwork implements backend.Backend. PolicyDCT applies the
+// deconvolution transformation first (the "Eyeriss+DCT" bar of Fig. 13);
+// PolicyBaseline runs the naive deconvolutions. Options must be
+// normalized; use backend.Run for validated execution.
+func (m *Model) RunNetwork(n *nn.Network, opts backend.RunOptions) backend.Report {
+	transformed := opts.Policy.Transformed()
+	rep := backend.Report{Workload: n.Name + "@eyeriss", Policy: opts.Policy}
 	pes := float64(m.Cfg.PEs())
 	bpc := m.Cfg.BytesPerCycle()
 	elemB := m.Cfg.ElemBytes
@@ -111,8 +132,13 @@ func (m *Model) RunNetwork(n *nn.Network, transformed bool) systolic.Report {
 		rep.MACs += macs
 		rep.DRAMBytes += dram
 		rep.SRAMBytes += dram // everything crosses the global buffer once
-		e := (float64(macs)*(m.En.MACpJ+NoCpJPerMAC) +
-			float64(dram)*(m.En.SRAMpJByte+m.En.DRAMpJByte)) * 1e-12
+		eb := backend.EnergyBreakdown{
+			ComputeJ: float64(macs) * (m.En.MACpJ + NoCpJPerMAC) * 1e-12,
+			SRAMJ:    float64(dram) * m.En.SRAMpJByte * 1e-12,
+			DRAMJ:    float64(dram) * m.En.DRAMpJByte * 1e-12,
+		}
+		rep.Energy.Add(eb)
+		e := eb.Total()
 		rep.EnergyJ += e
 		if l.Kind == nn.KindDeconv {
 			rep.DeconvCycles += cycles
@@ -120,6 +146,7 @@ func (m *Model) RunNetwork(n *nn.Network, transformed bool) systolic.Report {
 		}
 	}
 	rep.Seconds = float64(rep.Cycles) / m.Cfg.FreqHz
-	rep.EnergyJ += m.En.LeakWatts * rep.Seconds
+	rep.Energy.LeakJ = m.En.LeakWatts * rep.Seconds
+	rep.EnergyJ += rep.Energy.LeakJ
 	return rep
 }

@@ -3,13 +3,14 @@ package eyeriss
 import (
 	"testing"
 
+	"asv/internal/backend"
 	"asv/internal/nn"
 	"asv/internal/systolic"
 )
 
 func TestRunNetworkReportsComplete(t *testing.T) {
 	m := Default()
-	rep := m.RunNetwork(nn.DispNet(135, 240), false)
+	rep := m.RunNetwork(nn.DispNet(135, 240), backend.RunOptions{Policy: backend.PolicyBaseline})
 	if rep.Cycles <= 0 || rep.MACs <= 0 || rep.EnergyJ <= 0 || rep.DRAMBytes <= 0 {
 		t.Fatalf("incomplete report: %+v", rep)
 	}
@@ -23,8 +24,8 @@ func TestDCTHelpsEyerissToo(t *testing.T) {
 	// ~1.6x speedup and ~31% energy saving over plain Eyeriss.
 	m := Default()
 	n := nn.FlowNetC(nn.QHDH, nn.QHDW)
-	base := m.RunNetwork(n, false)
-	dct := m.RunNetwork(n, true)
+	base := m.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+	dct := m.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyDCT})
 	sp := float64(base.Cycles) / float64(dct.Cycles)
 	if sp < 1.15 || sp > 2.2 {
 		t.Fatalf("Eyeriss+DCT speedup %.2fx, want ~1.6x band", sp)
@@ -40,8 +41,8 @@ func TestEyerissSlowerThanSystolicBaseline(t *testing.T) {
 	// Eyeriss on these workloads (DCO alone is 2.6x vs Eyeriss but only
 	// ~1.5x vs the systolic baseline).
 	n := nn.DispNet(270, 480)
-	eye := Default().RunNetwork(n, false)
-	sys := systolic.Default().RunNetwork(n, systolic.PolicyBaseline)
+	eye := Default().RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+	sys := systolic.Default().RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
 	if eye.Cycles <= sys.Cycles {
 		t.Fatalf("Eyeriss (%d cycles) should trail the systolic baseline (%d)", eye.Cycles, sys.Cycles)
 	}

@@ -8,16 +8,19 @@
 // software transformation, but in hardware. What it cannot do is ASV's
 // inter-layer activation reuse: each computation pattern streams the ifmap
 // again, and pattern switches cost reconfiguration. Those two differences
-// are exactly what the model captures.
+// are exactly what the model captures. As a backend (registry name
+// "gannx") it supports only PolicyBaseline: zero skipping is baked into
+// the hardware, not a scheduling choice.
 package gannx
 
 import (
+	"fmt"
 	"math"
 
+	"asv/internal/backend"
 	"asv/internal/hw"
 	"asv/internal/nn"
 	"asv/internal/schedule"
-	"asv/internal/systolic"
 )
 
 // Model is a GANNX-like accelerator with the same resource envelope as the
@@ -46,11 +49,29 @@ func New(cfg hw.Config, en hw.Energy) *Model {
 // Default returns the Fig. 14 comparison configuration.
 func Default() *Model { return New(hw.Default(), hw.DefaultEnergy()) }
 
-// RunNetwork executes one generator inference. Deconvolutions skip zero
-// MACs in hardware; convolutions and FC layers run as on a conventional
-// array.
-func (m *Model) RunNetwork(n *nn.Network) systolic.Report {
-	rep := systolic.Report{Workload: n.Name + "@gannx"}
+// Name implements backend.Backend.
+func (m *Model) Name() string { return "gannx" }
+
+// Describe implements backend.Backend: hardware zero skipping is the
+// native execution, so the only policy is baseline; there is no scheduler
+// to run DCT/ConvR/ILAR and no ISM extension.
+func (m *Model) Describe() backend.Description {
+	return backend.Description{
+		Name: m.Name(),
+		Summary: fmt.Sprintf("GANNX-class MIMD-SIMD deconvolution accelerator, %dx%d PEs @ %.1f GHz, %.1f MB buffer",
+			m.Cfg.PEsX, m.Cfg.PEsY, m.Cfg.FreqHz/1e9, float64(m.Cfg.BufBytes)/(1024*1024)),
+		Caps: backend.Capabilities{
+			Policies: []backend.Policy{backend.PolicyBaseline},
+		},
+	}
+}
+
+// RunNetwork implements backend.Backend: one generator inference.
+// Deconvolutions skip zero MACs in hardware; convolutions and FC layers
+// run as on a conventional array. Options must be normalized; use
+// backend.Run for validated execution.
+func (m *Model) RunNetwork(n *nn.Network, opts backend.RunOptions) backend.Report {
+	rep := backend.Report{Workload: n.Name + "@gannx", Policy: opts.Policy}
 	pes := float64(m.Cfg.PEs())
 	bpc := m.Cfg.BytesPerCycle()
 	elemB := m.Cfg.ElemBytes
@@ -88,9 +109,13 @@ func (m *Model) RunNetwork(n *nn.Network) systolic.Report {
 		// the repeated on-chip traffic ILAR eliminates on ASV.
 		sram := int64(len(spec.Subs))*ifBytes + dram
 		rep.SRAMBytes += sram
-		e := (float64(macs)*(m.En.MACpJ+controlPJPerMAC) +
-			float64(sram)*m.En.SRAMpJByte +
-			float64(dram)*m.En.DRAMpJByte) * 1e-12
+		eb := backend.EnergyBreakdown{
+			ComputeJ: float64(macs) * (m.En.MACpJ + controlPJPerMAC) * 1e-12,
+			SRAMJ:    float64(sram) * m.En.SRAMpJByte * 1e-12,
+			DRAMJ:    float64(dram) * m.En.DRAMpJByte * 1e-12,
+		}
+		rep.Energy.Add(eb)
+		e := eb.Total()
 		rep.EnergyJ += e
 		if l.Kind == nn.KindDeconv {
 			rep.DeconvCycles += cycles
@@ -98,6 +123,7 @@ func (m *Model) RunNetwork(n *nn.Network) systolic.Report {
 		}
 	}
 	rep.Seconds = float64(rep.Cycles) / m.Cfg.FreqHz
-	rep.EnergyJ += m.En.LeakWatts * rep.Seconds
+	rep.Energy.LeakJ = m.En.LeakWatts * rep.Seconds
+	rep.EnergyJ += rep.Energy.LeakJ
 	return rep
 }

@@ -3,13 +3,14 @@ package gannx
 import (
 	"testing"
 
+	"asv/internal/backend"
 	"asv/internal/eyeriss"
 	"asv/internal/nn"
 	"asv/internal/systolic"
 )
 
 func TestRunNetworkReportsComplete(t *testing.T) {
-	rep := Default().RunNetwork(nn.DCGAN())
+	rep := Default().RunNetwork(nn.DCGAN(), backend.RunOptions{})
 	if rep.Cycles <= 0 || rep.MACs <= 0 || rep.EnergyJ <= 0 || rep.DRAMBytes <= 0 {
 		t.Fatalf("incomplete report: %+v", rep)
 	}
@@ -19,7 +20,7 @@ func TestGANNXSkipsZeroMACs(t *testing.T) {
 	// The dedicated hardware executes only effective MACs, like the
 	// software transformation (~4x fewer than naive for 2-D stride-2).
 	n := nn.DCGAN()
-	rep := Default().RunNetwork(n)
+	rep := Default().RunNetwork(n, backend.RunOptions{})
 	naive := n.TotalMACs()
 	if rep.MACs >= naive {
 		t.Fatalf("GANNX issued %d MACs, naive is %d — no zero skipping?", rep.MACs, naive)
@@ -36,8 +37,8 @@ func TestGANNXBeatsEyerissOnGANs(t *testing.T) {
 	eye := eyeriss.Default()
 	var sp float64
 	for _, n := range nn.GANZoo() {
-		e := eye.RunNetwork(n, false)
-		g := gx.RunNetwork(n)
+		e := eye.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+		g := gx.RunNetwork(n, backend.RunOptions{})
 		sp += e.Seconds / g.Seconds
 	}
 	sp /= 6
@@ -54,8 +55,8 @@ func TestASVBeatsGANNX(t *testing.T) {
 	asv := systolic.Default()
 	var ratioSum, energySum float64
 	for _, n := range nn.GANZoo() {
-		g := gx.RunNetwork(n)
-		a := asv.RunNetwork(n, systolic.PolicyILAR)
+		g := gx.RunNetwork(n, backend.RunOptions{})
+		a := asv.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyILAR})
 		ratioSum += g.Seconds / a.Seconds
 		energySum += g.EnergyJ / a.EnergyJ
 	}
@@ -72,7 +73,7 @@ func TestGANNXReloadsIfmapPerPattern(t *testing.T) {
 	// The SRAM traffic must reflect one ifmap pass per computation pattern —
 	// the reuse ASV uniquely eliminates.
 	n := nn.DCGAN()
-	rep := Default().RunNetwork(n)
+	rep := Default().RunNetwork(n, backend.RunOptions{})
 	var minSram int64
 	for _, l := range n.Layers {
 		minSram += l.IfmapElems() * 2

@@ -2,14 +2,16 @@
 // Jetson TX2 (paper Sec. 6.2, Fig. 13): peak fp16 throughput, shared LPDDR4
 // bandwidth, and board-level power. It reproduces the baseline GPU curves of
 // Fig. 1 and the GPU bars of Fig. 13 at the fidelity the paper uses them —
-// a reference point, not a target.
+// a reference point, not a target. As a backend (registry name "gpu") it
+// supports only PolicyBaseline, the cuDNN-era execution the paper measures.
 package gpu
 
 import (
+	"fmt"
 	"math"
 
+	"asv/internal/backend"
 	"asv/internal/nn"
-	"asv/internal/systolic"
 )
 
 // Model describes a GPU by its roofline parameters.
@@ -37,11 +39,29 @@ func TX2() *Model {
 	}
 }
 
-// RunNetwork returns the per-inference cost of the network. The GPU
-// executes deconvolutions as dense convolutions over the zero-upsampled
-// input (the cuDNN-era execution the paper measures against).
-func (m *Model) RunNetwork(n *nn.Network) systolic.Report {
-	rep := systolic.Report{Workload: n.Name + "@gpu"}
+// Name implements backend.Backend.
+func (m *Model) Name() string { return "gpu" }
+
+// Describe implements backend.Backend: a roofline reference point with no
+// scheduler, so only the native (baseline) execution is modeled.
+func (m *Model) Describe() backend.Description {
+	return backend.Description{
+		Name: m.Name(),
+		Summary: fmt.Sprintf("mobile GPU roofline (TX2-class), %.0f GMAC/s fp16 peak, %.1f GB/s, %.0f W board",
+			m.PeakMACsPerSec/1e9, m.BWBytesPerSec/1e9, m.BoardPowerW),
+		Caps: backend.Capabilities{
+			Policies: []backend.Policy{backend.PolicyBaseline},
+		},
+	}
+}
+
+// RunNetwork implements backend.Backend: the per-inference cost of the
+// network. The GPU executes deconvolutions as dense convolutions over the
+// zero-upsampled input (the cuDNN-era execution the paper measures
+// against). Options must be normalized; use backend.Run for validated
+// execution.
+func (m *Model) RunNetwork(n *nn.Network, opts backend.RunOptions) backend.Report {
+	rep := backend.Report{Workload: n.Name + "@gpu", Policy: opts.Policy}
 	const elemB = 2
 	for _, l := range n.Layers {
 		macs := l.MACs()
@@ -59,6 +79,9 @@ func (m *Model) RunNetwork(n *nn.Network) systolic.Report {
 	}
 	rep.Cycles = int64(rep.Seconds * 1e9)
 	rep.EnergyJ = rep.Seconds * m.BoardPowerW
+	// Board-level power does not split by component; the roofline reports
+	// the whole budget as compute so the breakdown still sums to EnergyJ.
+	rep.Energy.ComputeJ = rep.EnergyJ
 	for _, l := range n.Layers {
 		if l.Kind == nn.KindDeconv {
 			rep.DeconvEnergyJ += float64(l.MACs()) / float64(rep.MACs) * rep.EnergyJ

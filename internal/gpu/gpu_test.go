@@ -3,6 +3,7 @@ package gpu
 import (
 	"testing"
 
+	"asv/internal/backend"
 	"asv/internal/nn"
 	"asv/internal/systolic"
 )
@@ -12,7 +13,7 @@ func TestTX2MatchesFig1FPSBand(t *testing.T) {
 	// at qHD.
 	m := TX2()
 	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
-		rep := m.RunNetwork(n)
+		rep := m.RunNetwork(n, backend.RunOptions{})
 		fps := rep.FPS()
 		if fps < 0.02 || fps > 5 {
 			t.Errorf("%s: GPU FPS %.2f outside the Fig. 1 band", n.Name, fps)
@@ -22,8 +23,8 @@ func TestTX2MatchesFig1FPSBand(t *testing.T) {
 
 func TestGPUSlowerThanAccelerator(t *testing.T) {
 	n := nn.DispNet(nn.QHDH, nn.QHDW)
-	gpuRep := TX2().RunNetwork(n)
-	accRep := systolic.Default().RunNetwork(n, systolic.PolicyBaseline)
+	gpuRep := TX2().RunNetwork(n, backend.RunOptions{})
+	accRep := systolic.Default().RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
 	if gpuRep.Seconds <= accRep.Seconds {
 		t.Fatal("the mobile GPU should be slower than the dedicated accelerator")
 	}
@@ -31,8 +32,8 @@ func TestGPUSlowerThanAccelerator(t *testing.T) {
 
 func TestGPUEnergyScalesWithLatency(t *testing.T) {
 	m := TX2()
-	small := m.RunNetwork(nn.DispNet(135, 240))
-	big := m.RunNetwork(nn.DispNet(540, 960))
+	small := m.RunNetwork(nn.DispNet(135, 240), backend.RunOptions{})
+	big := m.RunNetwork(nn.DispNet(540, 960), backend.RunOptions{})
 	if big.Seconds <= small.Seconds || big.EnergyJ <= small.EnergyJ {
 		t.Fatal("larger inputs must cost more time and energy")
 	}
@@ -43,7 +44,7 @@ func TestGPUEnergyScalesWithLatency(t *testing.T) {
 }
 
 func TestGPUDeconvSliceAccounted(t *testing.T) {
-	rep := TX2().RunNetwork(nn.FlowNetC(270, 480))
+	rep := TX2().RunNetwork(nn.FlowNetC(270, 480), backend.RunOptions{})
 	if rep.DeconvCycles <= 0 || rep.DeconvEnergyJ <= 0 {
 		t.Fatal("deconvolution share not accounted")
 	}
@@ -55,7 +56,7 @@ func TestGPUDeconvSliceAccounted(t *testing.T) {
 func TestLaunchOverheadVisibleOnTinyNets(t *testing.T) {
 	m := TX2()
 	n := nn.DCGAN()
-	rep := m.RunNetwork(n)
+	rep := m.RunNetwork(n, backend.RunOptions{})
 	minOverhead := float64(len(n.Layers)) * m.LaunchOverheadSec
 	if rep.Seconds < minOverhead {
 		t.Fatal("per-layer launch overhead missing")

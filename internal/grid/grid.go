@@ -1,17 +1,9 @@
-package systolic
-
-import (
-	"fmt"
-
-	"asv/internal/tensor"
-)
-
-// Functional systolic-array simulator.
+// Package grid is the functional systolic-array simulator.
 //
-// While the analytic model (RunNetwork) predicts performance, this file
-// actually *executes* the weight-stationary dataflow cycle by cycle on a
-// simulated PE grid: activations enter skewed from the left and hop one PE
-// per cycle; partial sums flow down the columns; each PE performs one MAC
+// While the analytic model (systolic.RunNetwork) predicts performance, this
+// package actually *executes* the weight-stationary dataflow cycle by cycle
+// on a simulated PE grid: activations enter skewed from the left and hop one
+// PE per cycle; partial sums flow down the columns; each PE performs one MAC
 // per cycle against its resident weight. Convolutions run as implicit-GEMM
 // (the contraction dimension C·KH·KW maps to rows, filters map to columns,
 // output pixels stream through), tiled to the array size with partial sums
@@ -20,7 +12,16 @@ import (
 //
 // Tests verify the simulated array is bit-equivalent to the reference
 // convolution and that its measured cycle count matches the fill/stream/
-// drain formula the analytic model assumes.
+// drain formula the analytic model assumes. The package is deliberately
+// independent of the cost models, so it does not count as a "concrete model
+// package" for the archlayer rule.
+package grid
+
+import (
+	"fmt"
+
+	"asv/internal/tensor"
+)
 
 // Mode selects the PE arithmetic: MAC for convolution, SAD for the
 // accumulate-absolute-difference extension ASV adds for block matching
@@ -48,7 +49,7 @@ type Grid struct {
 // NewGrid returns an idle array.
 func NewGrid(rows, cols int) *Grid {
 	if rows < 1 || cols < 1 {
-		panic(fmt.Sprintf("systolic: invalid grid %dx%d", rows, cols))
+		panic(fmt.Sprintf("grid: invalid grid %dx%d", rows, cols))
 	}
 	g := &Grid{Rows: rows, Cols: cols}
 	g.weight = mat(rows, cols)
@@ -87,11 +88,11 @@ func (g *Grid) LoadWeights(w [][]float32) {
 	}
 	for r := range w {
 		if r >= g.Rows {
-			panic("systolic: weight tile taller than array")
+			panic("grid: weight tile taller than array")
 		}
 		for c := range w[r] {
 			if c >= g.Cols {
-				panic("systolic: weight tile wider than array")
+				panic("grid: weight tile wider than array")
 			}
 			g.weight[r][c] = w[r][c]
 			g.active[r][c] = true
@@ -166,7 +167,7 @@ func (g *Grid) MatMul(a [][]float32, w [][]float32) [][]float32 {
 	}
 	k := len(a[0])
 	if len(w) != k {
-		panic(fmt.Sprintf("systolic: inner dims %d vs %d", k, len(w)))
+		panic(fmt.Sprintf("grid: inner dims %d vs %d", k, len(w)))
 	}
 	n := len(w[0])
 	out := mat(m, n)
@@ -292,7 +293,7 @@ func min(a, b int) int {
 // tensor.SADWindow(in, block, 1).
 func (g *Grid) SADWindow2D(in, block *tensor.Tensor) *tensor.Tensor {
 	if g.Mode != ModeSAD {
-		panic("systolic: SADWindow2D requires ModeSAD")
+		panic("grid: SADWindow2D requires ModeSAD")
 	}
 	h, wd := in.Dim(0), in.Dim(1)
 	kh, kw := block.Dim(0), block.Dim(1)

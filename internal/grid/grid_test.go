@@ -1,4 +1,4 @@
-package systolic
+package grid
 
 import (
 	"math/rand"

@@ -34,10 +34,12 @@ import (
 	"sync/atomic"
 	"time"
 
+	"asv/internal/backend"
 	"asv/internal/core"
 	"asv/internal/dataset"
 	"asv/internal/imgproc"
 	"asv/internal/metrics"
+	"asv/internal/nn"
 	"asv/internal/stereo"
 )
 
@@ -76,6 +78,16 @@ type Config struct {
 	Metrics *metrics.Registry
 	// EnablePprof mounts net/http/pprof under /debug/pprof/.
 	EnablePprof bool
+	// CostBackend, when set, adds a "backend" section to /metrics: the
+	// estimated per-frame cost of running the key-frame DNN (DispNet at
+	// qHD) on this accelerator model, under its best supported policy and
+	// — when the model supports ISM — amortized over the configured PW.
+	// Nil omits the section.
+	CostBackend backend.Backend
+	// CostNonKey is the per-frame non-key demand used for the ISM variant
+	// of the CostBackend estimate. Zero restricts the estimate to the pure
+	// DNN cost even on ISM-capable backends.
+	CostNonKey backend.NonKeyCost
 }
 
 // DefaultConfig returns a serving configuration sized for a small host.
@@ -147,6 +159,11 @@ type Server struct {
 
 	janitorStop chan struct{}
 
+	// costEst is the precomputed /metrics "backend" section (nil when no
+	// CostBackend is configured). Computed once in New: the cost model is
+	// analytic and deterministic, so there is nothing live to sample.
+	costEst map[string]any
+
 	// draining flips once at Close; handlers then refuse new work with 503.
 	// submitWG covers each handler's admission window (the draining
 	// re-check plus the admit send), so Close can wait for stragglers
@@ -189,6 +206,9 @@ func New(matcher core.KeyMatcher, cfg Config) *Server {
 	}
 	s.tab = newSessionTable(s.cfg.MaxSessions)
 	s.b = newBatcher(s)
+	if s.cfg.CostBackend != nil {
+		s.costEst = backendCostEstimate(s.cfg.CostBackend, s.cfg.CostNonKey, s.cfg.PW)
+	}
 	s.mux = http.NewServeMux()
 	s.routes()
 	go s.janitor()
@@ -339,7 +359,9 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 
 // handleMetrics serves the live observability snapshot: serving-layer
 // counters plus the shared internal/metrics stage snapshot (the same format
-// asvbench emits), so one dashboard reads both.
+// asvbench emits), so one dashboard reads both. When a CostBackend is
+// configured, a "backend" section carries the estimated per-frame
+// accelerator cost alongside the measured serving numbers.
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	doc := map[string]any{
 		"serve":  s.CountersSnapshot(),
@@ -348,7 +370,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	if s.cfg.Metrics != nil {
 		doc["stages"] = s.cfg.Metrics.Snapshot()
 	}
+	if s.costEst != nil {
+		doc["backend"] = s.costEst
+	}
 	writeJSON(w, http.StatusOK, doc)
+}
+
+// backendCostEstimate runs the accelerator model once on the serving
+// workload shape — the DispNet key-frame DNN at the paper's qHD resolution
+// — under the model's best supported policy, and returns the /metrics
+// "backend" section. On ISM-capable backends with a known non-key demand
+// the estimate is the steady-state per-frame cost amortized over pw.
+func backendCostEstimate(b backend.Backend, nonKey backend.NonKeyCost, pw int) map[string]any {
+	d := b.Describe()
+	pol := d.Caps.Policies[len(d.Caps.Policies)-1]
+	opts := backend.RunOptions{Policy: pol}
+	mode := "dnn-per-frame"
+	if d.Caps.ISM && pw > 1 && nonKey != (backend.NonKeyCost{}) {
+		opts.PW, opts.NonKey = pw, nonKey
+		mode = fmt.Sprintf("ism-pw%d", pw)
+	}
+	rep, err := backend.Run(b, nn.DispNet(nn.QHDH, nn.QHDW), opts)
+	if err != nil {
+		// Unreachable for registered backends (options come from Describe),
+		// but a broken custom backend should not take down the server.
+		return map[string]any{"name": d.Name, "error": err.Error()}
+	}
+	return map[string]any{
+		"name":              d.Name,
+		"policy":            pol.String(),
+		"mode":              mode,
+		"workload":          rep.Workload,
+		"est_frame_ms":      round2(rep.Seconds * 1e3),
+		"est_fps":           round2(rep.FPS()),
+		"est_frame_mj":      round2(rep.EnergyJ * 1e3),
+		"est_frame_gmacs":   round2(float64(rep.MACs) / 1e9),
+		"est_frame_dram_mb": round2(float64(rep.DRAMBytes) / (1024 * 1024)),
+	}
 }
 
 // CountersSnapshot returns the serving-layer counters under stable names

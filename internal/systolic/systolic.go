@@ -6,100 +6,19 @@
 //
 // Latency comes from the round model in package schedule; energy integrates
 // per-event costs from package hw over the counted MACs and on-/off-chip
-// traffic.
+// traffic. The package implements backend.Backend (registry name
+// "systolic"): it is the only model that supports all four scheduling
+// policies and ISM propagation windows.
 package systolic
 
 import (
 	"fmt"
 
+	"asv/internal/backend"
 	"asv/internal/hw"
 	"asv/internal/nn"
 	"asv/internal/schedule"
 )
-
-// Policy selects how a network is compiled onto the array.
-type Policy int
-
-// Policies, in increasing order of ASV optimization.
-const (
-	// PolicyBaseline executes deconvolutions naively (dense convolution on
-	// the zero-upsampled ifmap) with the whole-network static buffer
-	// partition of Sec. 6.2.
-	PolicyBaseline Policy = iota
-	// PolicyDCT applies the deconvolution transformation but keeps the
-	// baseline static partition (the "DCT" bar of Fig. 11).
-	PolicyDCT
-	// PolicyConvR adds the per-layer reuse optimizer, scheduling each
-	// sub-convolution independently (conventional reuse only).
-	PolicyConvR
-	// PolicyILAR additionally shares the resident ifmap tile across the
-	// sub-convolutions of each transformed deconvolution (full DCO).
-	PolicyILAR
-)
-
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	switch p {
-	case PolicyBaseline:
-		return "baseline"
-	case PolicyDCT:
-		return "dct"
-	case PolicyConvR:
-		return "convr"
-	case PolicyILAR:
-		return "ilar"
-	default:
-		return fmt.Sprintf("policy(%d)", int(p))
-	}
-}
-
-// EnergyBreakdown splits a report's energy by component.
-type EnergyBreakdown struct {
-	ComputeJ float64 // MAC / SAD / scalar arithmetic
-	SRAMJ    float64 // on-chip buffer traffic
-	DRAMJ    float64 // off-chip traffic
-	LeakJ    float64 // static power over the run
-}
-
-// Total sums the components.
-func (e EnergyBreakdown) Total() float64 {
-	return e.ComputeJ + e.SRAMJ + e.DRAMJ + e.LeakJ
-}
-
-// add accumulates o into e.
-func (e *EnergyBreakdown) add(o EnergyBreakdown) {
-	e.ComputeJ += o.ComputeJ
-	e.SRAMJ += o.SRAMJ
-	e.DRAMJ += o.DRAMJ
-	e.LeakJ += o.LeakJ
-}
-
-// Report aggregates the cost of running a workload on the accelerator.
-type Report struct {
-	Workload  string
-	Policy    Policy
-	Cycles    int64
-	Seconds   float64
-	MACs      int64
-	DRAMBytes int64
-	SRAMBytes int64
-	EnergyJ   float64
-	Energy    EnergyBreakdown // per-component split of EnergyJ
-
-	// Deconvolution-only slice of the totals (Fig. 11a).
-	DeconvCycles  int64
-	DeconvEnergyJ float64
-
-	PerLayer []schedule.Result
-}
-
-// FPS returns the frame rate this per-frame cost sustains.
-func (r Report) FPS() float64 {
-	if r.Seconds == 0 {
-		return 0
-	}
-	return 1 / r.Seconds
-}
 
 // Accelerator is an immutable accelerator instance.
 type Accelerator struct {
@@ -116,10 +35,29 @@ func New(cfg hw.Config, en hw.Energy) *Accelerator {
 // Default returns the paper's evaluation accelerator (Sec. 6.1).
 func Default() *Accelerator { return New(hw.Default(), hw.DefaultEnergy()) }
 
+// Name implements backend.Backend.
+func (a *Accelerator) Name() string { return "systolic" }
+
+// Describe implements backend.Backend: the systolic array supports every
+// scheduling policy and the ISM non-key extensions.
+func (a *Accelerator) Describe() backend.Description {
+	return backend.Description{
+		Name: a.Name(),
+		Summary: fmt.Sprintf("ASV systolic array, %dx%d PEs @ %.1f GHz, %.1f MB SRAM, %.1f GB/s",
+			a.Cfg.PEsX, a.Cfg.PEsY, a.Cfg.FreqHz/1e9,
+			float64(a.Cfg.BufBytes)/(1024*1024), a.Cfg.BytesPerCycle()*a.Cfg.FreqHz/1e9),
+		Caps: backend.Capabilities{
+			Policies: []backend.Policy{backend.PolicyBaseline, backend.PolicyDCT,
+				backend.PolicyConvR, backend.PolicyILAR},
+			ISM: true,
+		},
+	}
+}
+
 // energyOf integrates the energy of one scheduled result by component.
-func (a *Accelerator) energyOf(r schedule.Result) EnergyBreakdown {
+func (a *Accelerator) energyOf(r schedule.Result) backend.EnergyBreakdown {
 	const pJ = 1e-12
-	return EnergyBreakdown{
+	return backend.EnergyBreakdown{
 		ComputeJ: float64(r.MACs) * a.En.MACpJ * pJ,
 		SRAMJ:    float64(r.SRAMBytes) * a.En.SRAMpJByte * pJ,
 		DRAMJ:    float64(r.DRAMBytes) * a.En.DRAMpJByte * pJ,
@@ -127,26 +65,37 @@ func (a *Accelerator) energyOf(r schedule.Result) EnergyBreakdown {
 	}
 }
 
-// RunNetwork compiles and "executes" one inference of the network under the
-// given policy, returning its full cost breakdown.
-func (a *Accelerator) RunNetwork(n *nn.Network, pol Policy) Report {
-	transformed := pol != PolicyBaseline
+// RunNetwork implements backend.Backend: one inference under opts.Policy,
+// or — when opts.PW > 1 — the average per-frame cost of the full ASV
+// system (key frame amortized over opts.PW-1 non-key frames). Options must
+// be normalized; use backend.Run for validated execution.
+func (a *Accelerator) RunNetwork(n *nn.Network, opts backend.RunOptions) backend.Report {
+	if opts.PW > 1 {
+		return a.RunISM(n, opts.Policy, opts.PW, opts.NonKey)
+	}
+	return a.runNetwork(n, opts.Policy)
+}
+
+// runNetwork compiles and "executes" one inference of the network under
+// the given policy, returning its full cost breakdown.
+func (a *Accelerator) runNetwork(n *nn.Network, pol backend.Policy) backend.Report {
+	transformed := pol != backend.PolicyBaseline
 	specs := schedule.NetworkSpecs(n, transformed)
 
 	var opt schedule.Options
 	switch pol {
-	case PolicyBaseline, PolicyDCT:
+	case backend.PolicyBaseline, backend.PolicyDCT:
 		p := schedule.BestStaticPartition(specs, a.Cfg)
 		opt = schedule.Options{Static: &p}
-	case PolicyConvR:
+	case backend.PolicyConvR:
 		opt = schedule.Options{ILAR: false}
-	case PolicyILAR:
+	case backend.PolicyILAR:
 		opt = schedule.Options{ILAR: true}
 	default:
 		panic(fmt.Sprintf("systolic: unknown policy %v", pol))
 	}
 
-	rep := Report{Workload: n.Name, Policy: pol}
+	rep := backend.Report{Workload: n.Name, Policy: pol}
 	for i, spec := range specs {
 		r := schedule.Evaluate(spec, a.Cfg, opt)
 		rep.PerLayer = append(rep.PerLayer, r)
@@ -155,7 +104,7 @@ func (a *Accelerator) RunNetwork(n *nn.Network, pol Policy) Report {
 		rep.DRAMBytes += r.DRAMBytes
 		rep.SRAMBytes += r.SRAMBytes
 		e := a.energyOf(r)
-		rep.Energy.add(e)
+		rep.Energy.Add(e)
 		rep.EnergyJ += e.Total()
 		if n.Layers[i].Kind == nn.KindDeconv {
 			rep.DeconvCycles += r.Cycles
@@ -164,16 +113,6 @@ func (a *Accelerator) RunNetwork(n *nn.Network, pol Policy) Report {
 	}
 	rep.Seconds = float64(rep.Cycles) / a.Cfg.FreqHz
 	return rep
-}
-
-// NonKeyCost is the arithmetic demand of one ISM non-key frame, split by
-// execution unit: convolution-like work (Gaussian pyramids, polynomial
-// expansion, SAD search) on the systolic array versus pointwise work
-// ("Compute Flow", "Matrix Update", propagation) on the scalar unit.
-type NonKeyCost struct {
-	ArrayMACs  int64
-	ScalarOps  int64
-	FrameBytes int64 // frame/motion/disparity DRAM traffic
 }
 
 // Scalar-unit microarchitecture (Sec. 6.1): 8 lanes at 250 MHz. Each lane
@@ -192,7 +131,7 @@ const arrayUtilNonKey = 0.75
 
 // RunNonKey models one non-key ISM frame: array work and scalar work
 // overlap, so latency is their maximum; energy sums both plus traffic.
-func (a *Accelerator) RunNonKey(c NonKeyCost) Report {
+func (a *Accelerator) RunNonKey(c backend.NonKeyCost) backend.Report {
 	arrayCycles := int64(float64(c.ArrayMACs) / (float64(a.Cfg.PEs()) * arrayUtilNonKey))
 	scalarSeconds := float64(c.ScalarOps) / (ScalarLanes * ScalarFreqHz * ScalarOpsPerLaneCycle)
 	scalarCycles := int64(scalarSeconds * a.Cfg.FreqHz)
@@ -207,14 +146,14 @@ func (a *Accelerator) RunNonKey(c NonKeyCost) Report {
 
 	seconds := float64(cycles) / a.Cfg.FreqHz
 	const pJ = 1e-12
-	eb := EnergyBreakdown{
+	eb := backend.EnergyBreakdown{
 		ComputeJ: (float64(c.ArrayMACs)*a.En.SADpJ + float64(c.ScalarOps)*a.En.ScalarOpPJ) * pJ,
 		SRAMJ:    float64(c.ArrayMACs) * 0.25 * a.En.SRAMpJByte * pJ,
 		DRAMJ:    float64(c.FrameBytes) * a.En.DRAMpJByte * pJ,
 		LeakJ:    a.En.LeakWatts * seconds,
 	}
 
-	return Report{
+	return backend.Report{
 		Workload:  "ism-nonkey",
 		Cycles:    cycles,
 		Seconds:   seconds,
@@ -229,17 +168,17 @@ func (a *Accelerator) RunNonKey(c NonKeyCost) Report {
 // propagation window pw: one key frame (the stereo DNN under pol) amortized
 // over pw-1 non-key frames (BM/OF on the extended array). pw=1 degenerates
 // to pure DNN execution.
-func (a *Accelerator) RunISM(n *nn.Network, pol Policy, pw int, nonKey NonKeyCost) Report {
+func (a *Accelerator) RunISM(n *nn.Network, pol backend.Policy, pw int, nonKey backend.NonKeyCost) backend.Report {
 	if pw < 1 {
 		panic(fmt.Sprintf("systolic: propagation window %d < 1", pw))
 	}
-	key := a.RunNetwork(n, pol)
+	key := a.runNetwork(n, pol)
 	if pw == 1 {
 		return key
 	}
 	nk := a.RunNonKey(nonKey)
 	inv := 1 / float64(pw)
-	avg := Report{
+	avg := backend.Report{
 		Workload: n.Name + "+ism",
 		Policy:   pol,
 		Cycles:   (key.Cycles + int64(pw-1)*nk.Cycles) / int64(pw),
@@ -247,7 +186,7 @@ func (a *Accelerator) RunISM(n *nn.Network, pol Policy, pw int, nonKey NonKeyCos
 	}
 	avg.Seconds = (key.Seconds + float64(pw-1)*nk.Seconds) * inv
 	avg.EnergyJ = (key.EnergyJ + float64(pw-1)*nk.EnergyJ) * inv
-	avg.Energy = EnergyBreakdown{
+	avg.Energy = backend.EnergyBreakdown{
 		ComputeJ: (key.Energy.ComputeJ + float64(pw-1)*nk.Energy.ComputeJ) * inv,
 		SRAMJ:    (key.Energy.SRAMJ + float64(pw-1)*nk.Energy.SRAMJ) * inv,
 		DRAMJ:    (key.Energy.DRAMJ + float64(pw-1)*nk.Energy.DRAMJ) * inv,

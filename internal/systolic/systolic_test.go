@@ -3,33 +3,22 @@ package systolic
 import (
 	"testing"
 
+	"asv/internal/backend"
 	"asv/internal/core"
 	"asv/internal/hw"
 	"asv/internal/nn"
 )
 
-func nonKeyQHD() NonKeyCost {
+func nonKeyQHD() backend.NonKeyCost {
 	p := core.New(nil, core.DefaultConfig())
 	am, so := p.NonKeyBreakdown(nn.QHDW, nn.QHDH)
-	return NonKeyCost{ArrayMACs: am, ScalarOps: so, FrameBytes: int64(7 * nn.QHDW * nn.QHDH * 2)}
-}
-
-func TestPolicyString(t *testing.T) {
-	want := map[Policy]string{
-		PolicyBaseline: "baseline", PolicyDCT: "dct",
-		PolicyConvR: "convr", PolicyILAR: "ilar",
-	}
-	for p, s := range want {
-		if p.String() != s {
-			t.Fatalf("Policy(%d).String() = %q, want %q", int(p), p.String(), s)
-		}
-	}
+	return backend.NonKeyCost{ArrayMACs: am, ScalarOps: so, FrameBytes: int64(7 * nn.QHDW * nn.QHDH * 2)}
 }
 
 func TestRunNetworkReportsComplete(t *testing.T) {
 	acc := Default()
 	n := nn.DispNet(135, 240)
-	rep := acc.RunNetwork(n, PolicyBaseline)
+	rep := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
 	if rep.Cycles <= 0 || rep.MACs <= 0 || rep.EnergyJ <= 0 || rep.DRAMBytes <= 0 {
 		t.Fatalf("incomplete report: %+v", rep)
 	}
@@ -47,10 +36,10 @@ func TestRunNetworkReportsComplete(t *testing.T) {
 func TestPolicyOrderingOnDeconvHeavyNet(t *testing.T) {
 	acc := Default()
 	n := nn.FlowNetC(135, 240)
-	base := acc.RunNetwork(n, PolicyBaseline)
-	dct := acc.RunNetwork(n, PolicyDCT)
-	convr := acc.RunNetwork(n, PolicyConvR)
-	ilar := acc.RunNetwork(n, PolicyILAR)
+	base := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+	dct := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyDCT})
+	convr := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyConvR})
+	ilar := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyILAR})
 	if !(base.Cycles > dct.Cycles) {
 		t.Fatalf("DCT (%d) should beat baseline (%d)", dct.Cycles, base.Cycles)
 	}
@@ -75,9 +64,9 @@ func TestFig10HeadlineShape(t *testing.T) {
 	var spSum, enSum float64
 	var count int
 	for _, n := range nn.StereoZoo(nn.QHDH, nn.QHDW) {
-		base := acc.RunNetwork(n, PolicyBaseline)
-		dco := acc.RunNetwork(n, PolicyILAR)
-		both := acc.RunISM(n, PolicyILAR, 4, nk)
+		base := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+		dco := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyILAR})
+		both := acc.RunISM(n, backend.PolicyILAR, 4, nk)
 
 		dcoSp := float64(base.Cycles) / float64(dco.Cycles)
 		if dcoSp < 1.15 || dcoSp > 2.2 {
@@ -96,7 +85,7 @@ func TestFig10HeadlineShape(t *testing.T) {
 		count++
 
 		// ISM contributes more than DCO (paper Sec. 7.3).
-		ism := acc.RunISM(n, PolicyBaseline, 4, nk)
+		ism := acc.RunISM(n, backend.PolicyBaseline, 4, nk)
 		ismSp := base.Seconds / ism.Seconds
 		if ismSp <= dcoSp {
 			t.Errorf("%s: ISM (%.2fx) should out-contribute DCO (%.2fx)", n.Name, ismSp, dcoSp)
@@ -118,8 +107,8 @@ func TestFig11DeconvLayerGains(t *testing.T) {
 	}
 	acc := Default()
 	speedup := func(n *nn.Network) float64 {
-		base := acc.RunNetwork(n, PolicyBaseline)
-		ilar := acc.RunNetwork(n, PolicyILAR)
+		base := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+		ilar := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyILAR})
 		return float64(base.DeconvCycles) / float64(ilar.DeconvCycles)
 	}
 	d2 := speedup(nn.DispNet(nn.QHDH, nn.QHDW))
@@ -141,7 +130,7 @@ func TestRunNonKeyIsFastAndCheap(t *testing.T) {
 	if nk.Seconds <= 0 || nk.Seconds > 0.01 {
 		t.Fatalf("non-key latency %.3fms outside (0, 10ms]", nk.Seconds*1e3)
 	}
-	key := acc.RunNetwork(nn.DispNet(nn.QHDH, nn.QHDW), PolicyBaseline)
+	key := acc.RunNetwork(nn.DispNet(nn.QHDH, nn.QHDW), backend.RunOptions{Policy: backend.PolicyBaseline})
 	if nk.EnergyJ*20 > key.EnergyJ {
 		t.Fatalf("non-key energy %.3gJ not ≪ key-frame energy %.3gJ", nk.EnergyJ, key.EnergyJ)
 	}
@@ -150,8 +139,8 @@ func TestRunNonKeyIsFastAndCheap(t *testing.T) {
 func TestRunISMPWOneIsPureDNN(t *testing.T) {
 	acc := Default()
 	n := nn.DispNet(135, 240)
-	a := acc.RunNetwork(n, PolicyBaseline)
-	b := acc.RunISM(n, PolicyBaseline, 1, nonKeyQHD())
+	a := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline})
+	b := acc.RunISM(n, backend.PolicyBaseline, 1, nonKeyQHD())
 	if a.Cycles != b.Cycles || a.EnergyJ != b.EnergyJ {
 		t.Fatal("PW-1 should equal pure DNN execution")
 	}
@@ -161,8 +150,8 @@ func TestRunISMLargerWindowIsFaster(t *testing.T) {
 	acc := Default()
 	n := nn.DispNet(135, 240)
 	nk := nonKeyQHD()
-	pw2 := acc.RunISM(n, PolicyBaseline, 2, nk)
-	pw4 := acc.RunISM(n, PolicyBaseline, 4, nk)
+	pw2 := acc.RunISM(n, backend.PolicyBaseline, 2, nk)
+	pw4 := acc.RunISM(n, backend.PolicyBaseline, 4, nk)
 	if pw4.Seconds >= pw2.Seconds {
 		t.Fatal("PW-4 should amortize the key frame better than PW-2")
 	}
@@ -175,7 +164,7 @@ func TestRunISMInvalidPWPanics(t *testing.T) {
 			t.Fatal("expected panic")
 		}
 	}()
-	acc.RunISM(nn.DispNet(135, 240), PolicyBaseline, 0, NonKeyCost{})
+	acc.RunISM(nn.DispNet(135, 240), backend.PolicyBaseline, 0, backend.NonKeyCost{})
 }
 
 func TestCustomConfigPropagates(t *testing.T) {
@@ -184,21 +173,14 @@ func TestCustomConfigPropagates(t *testing.T) {
 	small := New(cfg, hw.DefaultEnergy())
 	big := Default()
 	n := nn.DispNet(135, 240)
-	if small.RunNetwork(n, PolicyBaseline).Cycles <= big.RunNetwork(n, PolicyBaseline).Cycles {
+	if small.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline}).Cycles <= big.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyBaseline}).Cycles {
 		t.Fatal("an 8x8 array should be slower than 24x24")
-	}
-}
-
-func TestReportFPSZeroSafe(t *testing.T) {
-	var r Report
-	if r.FPS() != 0 {
-		t.Fatal("FPS of empty report should be 0")
 	}
 }
 
 func TestEnergyBreakdownSumsToTotal(t *testing.T) {
 	acc := Default()
-	rep := acc.RunNetwork(nn.DispNet(135, 240), PolicyILAR)
+	rep := acc.RunNetwork(nn.DispNet(135, 240), backend.RunOptions{Policy: backend.PolicyILAR})
 	if d := rep.Energy.Total() - rep.EnergyJ; d > 1e-12 || d < -1e-12 {
 		t.Fatalf("breakdown total %.6g != EnergyJ %.6g", rep.Energy.Total(), rep.EnergyJ)
 	}
@@ -217,8 +199,8 @@ func TestILARSavesDRAMEnergySpecifically(t *testing.T) {
 	// comes from the DRAM component (shared ifmap tiles), not from compute.
 	acc := Default()
 	n := nn.GCNet(nn.QHDH, nn.QHDW) // 3-D net: the strongest ILAR case
-	convr := acc.RunNetwork(n, PolicyConvR)
-	ilar := acc.RunNetwork(n, PolicyILAR)
+	convr := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyConvR})
+	ilar := acc.RunNetwork(n, backend.RunOptions{Policy: backend.PolicyILAR})
 	if ilar.Energy.DRAMJ >= convr.Energy.DRAMJ {
 		t.Fatalf("ILAR DRAM energy %.4g should be below ConvR's %.4g",
 			ilar.Energy.DRAMJ, convr.Energy.DRAMJ)

@@ -1,14 +1,13 @@
 package asv
 
 import (
+	"asv/internal/backend"
+	"asv/internal/backend/backends"
 	"asv/internal/dataset"
 	"asv/internal/deconv"
-	"asv/internal/eyeriss"
-	"asv/internal/gannx"
-	"asv/internal/gpu"
+	"asv/internal/grid"
 	"asv/internal/hw"
 	"asv/internal/nn"
-	"asv/internal/systolic"
 	"asv/internal/tensor"
 )
 
@@ -27,33 +26,99 @@ func DefaultHW() HWConfig { return hw.Default() }
 // DefaultEnergyModel returns the 16 nm energy calibration.
 func DefaultEnergyModel() EnergyModel { return hw.DefaultEnergy() }
 
-// Accelerator is the ASV systolic-array model.
-type Accelerator = systolic.Accelerator
+// Accelerator backends. Every hardware model — the ASV systolic array, the
+// Eyeriss-class spatial array, the mobile GPU roofline and the GANNX-class
+// deconvolution accelerator — implements the same Backend interface and is
+// selected by registry name ("systolic", "eyeriss", "gpu", "gannx"), not by
+// import.
+
+// Backend is one accelerator model: self-describing (name, summary,
+// capabilities) and runnable on any network.
+type Backend = backend.Backend
+
+// BackendDescription is a backend's name, hardware summary and capability
+// set.
+type BackendDescription = backend.Description
+
+// RunOptions carries the unified RunNetwork knobs: scheduling policy, ISM
+// propagation window, and the non-key cost the window amortizes.
+type RunOptions = backend.RunOptions
 
 // Policy selects the scheduling/optimization level.
-type Policy = systolic.Policy
+type Policy = backend.Policy
 
 // Scheduling policies, in increasing order of ASV optimization.
 const (
-	PolicyBaseline = systolic.PolicyBaseline // naive deconv + static partition
-	PolicyDCT      = systolic.PolicyDCT      // + deconv transformation
-	PolicyConvR    = systolic.PolicyConvR    // + per-layer reuse optimizer
-	PolicyILAR     = systolic.PolicyILAR     // + inter-layer activation reuse
+	PolicyBaseline = backend.PolicyBaseline // naive deconv + static partition
+	PolicyDCT      = backend.PolicyDCT      // + deconv transformation
+	PolicyConvR    = backend.PolicyConvR    // + per-layer reuse optimizer
+	PolicyILAR     = backend.PolicyILAR     // + inter-layer activation reuse
 )
 
+// ParsePolicy resolves a policy name ("baseline", "dct", "convr", "ilar").
+func ParsePolicy(s string) (Policy, error) { return backend.ParsePolicy(s) }
+
 // Report is a simulated execution cost breakdown.
-type Report = systolic.Report
+type Report = backend.Report
+
+// EnergyBreakdown splits a report's energy by component.
+type EnergyBreakdown = backend.EnergyBreakdown
 
 // NonKeyCost is the per-frame demand of ISM's non-key work.
-type NonKeyCost = systolic.NonKeyCost
+type NonKeyCost = backend.NonKeyCost
 
-// NewAccelerator returns an accelerator model with the given resources.
-func NewAccelerator(cfg HWConfig, en EnergyModel) *Accelerator {
-	return systolic.New(cfg, en)
+// Backends returns every registered accelerator model, sorted by name.
+func Backends() []Backend { return backend.List() }
+
+// BackendNames returns the sorted registry names.
+func BackendNames() []string { return backend.Names() }
+
+// BackendByName looks a backend up by registry name; the error lists the
+// available names.
+func BackendByName(name string) (Backend, error) { return backend.Get(name) }
+
+// RunOnBackend validates opts against b's capabilities and executes the
+// network, returning a typed error (backend.UnsupportedError /
+// backend.OptionsError) instead of a silently wrong report when the backend
+// cannot honor the options.
+func RunOnBackend(b Backend, n *Network, opts RunOptions) (Report, error) {
+	return backend.Run(b, n, opts)
 }
 
-// DefaultAccelerator returns the paper's evaluation accelerator.
-func DefaultAccelerator() *Accelerator { return systolic.Default() }
+// DefaultNonKeyCost returns the per-frame non-key demand of the default ISM
+// pipeline at qHD — what RunOptions.NonKey should carry for PW > 1 unless a
+// custom pipeline is being modeled.
+func DefaultNonKeyCost() NonKeyCost { return backends.DefaultNonKey() }
+
+// NewAccelerator returns an ASV systolic-array backend with the given
+// resources (design-space sweeps).
+func NewAccelerator(cfg HWConfig, en EnergyModel) Backend {
+	return backends.NewSystolic(cfg, en)
+}
+
+// DefaultAccelerator returns the paper's evaluation accelerator (the
+// registered "systolic" backend).
+func DefaultAccelerator() Backend { return mustBackend("systolic") }
+
+// DefaultEyeriss returns the Fig. 13 Eyeriss configuration (same PEs,
+// buffer and bandwidth as the ASV accelerator).
+func DefaultEyeriss() Backend { return mustBackend("eyeriss") }
+
+// JetsonTX2 returns the paper's GPU baseline.
+func JetsonTX2() Backend { return mustBackend("gpu") }
+
+// DefaultGANNX returns the Fig. 14 GANNX configuration.
+func DefaultGANNX() Backend { return mustBackend("gannx") }
+
+// mustBackend resolves a built-in registry name; the backends package
+// registers all four in init, so a miss is an internal wiring bug.
+func mustBackend(name string) Backend {
+	b, err := backend.Get(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
 
 // HWOverhead reports the area/power cost of the ISM hardware extensions
 // (paper Sec. 7.1).
@@ -112,27 +177,6 @@ func DecomposeKernel2D(w *Tensor) [4]*Tensor { return deconv.Decompose2D(w) }
 // real-data multiplications remain).
 func EffectiveMACs(l Layer) int64 { return deconv.EffectiveMACs(l) }
 
-// Comparison models.
-
-// EyerissModel is the row-stationary spatial-array comparison point.
-type EyerissModel = eyeriss.Model
-
-// DefaultEyeriss returns the Fig. 13 Eyeriss configuration (same PEs,
-// buffer and bandwidth as the ASV accelerator).
-func DefaultEyeriss() *EyerissModel { return eyeriss.Default() }
-
-// GPUModel is the mobile-GPU roofline comparison point.
-type GPUModel = gpu.Model
-
-// JetsonTX2 returns the paper's GPU baseline.
-func JetsonTX2() *GPUModel { return gpu.TX2() }
-
-// GANNXModel is the dedicated deconvolution accelerator of Fig. 14.
-type GANNXModel = gannx.Model
-
-// DefaultGANNX returns the Fig. 14 GANNX configuration.
-func DefaultGANNX() *GANNXModel { return gannx.Default() }
-
 // Datasets.
 
 // SceneConfig parameterizes the procedural stereo-video generator.
@@ -162,10 +206,10 @@ func KITTILike(w, h, pairs int, seed int64) []SceneConfig {
 // SystolicGrid is the cycle-stepped weight-stationary PE array simulator;
 // it executes convolutions functionally (bit-equivalent to the reference
 // operators) while counting cycles and MACs.
-type SystolicGrid = systolic.Grid
+type SystolicGrid = grid.Grid
 
 // NewSystolicGrid returns an idle rows×cols array.
-func NewSystolicGrid(rows, cols int) *SystolicGrid { return systolic.NewGrid(rows, cols) }
+func NewSystolicGrid(rows, cols int) *SystolicGrid { return grid.NewGrid(rows, cols) }
 
 // FixedTensor is a 16-bit fixed-point tensor, the PE datapath format.
 type FixedTensor = tensor.Fixed
