@@ -16,18 +16,23 @@ FUZZ_TARGETS := \
 	./internal/imgproc:FuzzReadPFM \
 	./internal/imgproc:FuzzImagePool \
 	./internal/deconv:FuzzTransformEquivalence \
-	./internal/schedule:FuzzCostModelInvariants
+	./internal/schedule:FuzzCostModelInvariants \
+	./internal/stereo:FuzzSatAdd
 
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json serve-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate serve-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
 
 build:
 	go build ./...
 
+# Same invocation as the release verification (`go build ./... && go test
+# ./...`): keeping them identical means CI cannot pass on a subset of the
+# suite that the verify step then fails on. Slow tests gate themselves on
+# testing.Short(); use `go test -short ./...` locally for a quick loop.
 test:
-	go test -short ./...
+	go test ./...
 
 race:
 	go test -race $(RACE_PKGS)
@@ -42,6 +47,16 @@ bench-json:
 # Regenerate BENCH_serve.json (depth-serving latency + backpressure).
 serve-bench-json:
 	go run ./cmd/asvbench -exp serve -json BENCH_serve.json
+
+# Regenerate BENCH_kernels.json, the committed ns/pixel baseline for the
+# matching kernels (float vs fixed-point).
+kernels-json:
+	go run ./cmd/asvbench -exp kernels -json BENCH_kernels.json
+
+# Measure the kernels fresh and fail if any regressed past 2.5x the
+# committed baseline; the fresh JSON is left for CI to upload.
+kernels-gate:
+	go run ./cmd/asvbench -exp kernels -json BENCH_kernels.fresh.json -gate BENCH_kernels.json
 
 # End-to-end smoke of the serving layer: boot asvserve on a random port,
 # push ~50 requests through asvload, assert latency was reported and no
@@ -86,4 +101,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cover
+check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cover kernels-gate

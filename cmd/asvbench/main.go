@@ -26,11 +26,12 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,backends,sec71,sec33,pipeline,serve,all)")
+	exp := flag.String("exp", "all", "experiment to run (fig1,fig3,fig4,fig9,fig10,fig11,fig12,fig13,fig14,backends,sec71,sec33,pipeline,serve,kernels,all)")
 	scale := flag.String("scale", "quick", "dataset scale for accuracy experiments (quick|full)")
 	list := flag.Bool("list", false, "list available experiments and exit")
 	backendName := flag.String("backend", "", "run the network-zoo cost sweep on one registered backend ("+strings.Join(asv.BackendNames(), "|")+") and exit")
-	flag.StringVar(&jsonPath, "json", "", "with -exp pipeline/serve/backends: also write the measurements to this JSON file")
+	flag.StringVar(&jsonPath, "json", "", "with -exp pipeline/serve/backends/kernels: also write the measurements to this JSON file")
+	flag.StringVar(&gatePath, "gate", "", "with -exp kernels: fail if any kernel regressed past 2.5x the committed baseline JSON at this path")
 	flag.StringVar(&format, "format", "table", "output format (table|csv)")
 	flag.Parse()
 	if format != "table" && format != "csv" {
@@ -44,6 +45,7 @@ func main() {
 		}
 		fmt.Println("pipeline   serial vs concurrent streaming-runtime throughput (-json writes BENCH_pipeline.json)")
 		fmt.Println("serve      depth-serving latency percentiles + backpressure (-json writes BENCH_serve.json)")
+		fmt.Println("kernels    matching-kernel ns/pixel, float vs fixed (-json writes BENCH_kernels.json, -gate checks a baseline)")
 		return
 	}
 
@@ -87,6 +89,7 @@ func main() {
 		"ablation-order": ablationOrder,
 		"pipeline":       func(asv.ExpScale) { pipelineBench() },
 		"serve":          func(asv.ExpScale) { serveBench() },
+		"kernels":        func(asv.ExpScale) { kernelsExp() },
 	}
 	order := []string{"fig1", "fig3", "fig4", "fig9", "fig10", "fig11",
 		"fig12", "fig13", "fig14", "sec71", "sec33",
@@ -112,6 +115,10 @@ var format = "table"
 
 // jsonPath, when non-empty, is where -exp pipeline writes its JSON record.
 var jsonPath = ""
+
+// gatePath, when non-empty, is the committed BENCH_kernels.json baseline the
+// kernels experiment compares itself against.
+var gatePath = ""
 
 func table(title string, header []string, rows [][]string) {
 	if format == "csv" {

@@ -37,6 +37,7 @@ func run(args []string, out io.Writer) error {
 	seed := fs.Int64("seed", 7, "scene seed")
 	stream := fs.Bool("stream", false, "use the concurrent streaming runtime (bit-identical to serial)")
 	showMetrics := fs.Bool("metrics", false, "print per-stage latency metrics after the run")
+	fixed := fs.Bool("fixed", false, "use the fixed-point matching kernels (key SGM + guided refine)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -50,16 +51,22 @@ func run(args []string, out io.Writer) error {
 
 	sgmOpt := asv.DefaultSGMOptions()
 	sgmOpt.MaxDisp = 28
+	sgmOpt.Fixed = *fixed
 	cfg := asv.DefaultPipelineConfig()
 	cfg.PW = *pw
+	cfg.BM.Fixed = *fixed
 	matcher := asv.SGMKeyMatcher{Opt: sgmOpt}
 
 	mode := "serial"
 	if *stream {
 		mode = "streaming"
 	}
-	fmt.Fprintf(out, "ISM over %d frames at %dx%d, PW-%d, key matcher: SGM (%s)\n\n",
-		*frames, *width, *height, *pw, mode)
+	kernels := "float"
+	if *fixed {
+		kernels = "fixed-point"
+	}
+	fmt.Fprintf(out, "ISM over %d frames at %dx%d, PW-%d, key matcher: SGM (%s, %s kernels)\n\n",
+		*frames, *width, *height, *pw, mode, kernels)
 	fmt.Fprintln(out, "frame  kind     error-%   MOps")
 
 	var reg *asv.Metrics

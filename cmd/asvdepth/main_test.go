@@ -39,6 +39,19 @@ func TestRunStreamingMatchesSerialOutput(t *testing.T) {
 	}
 }
 
+func TestRunFixedFlag(t *testing.T) {
+	var b strings.Builder
+	if err := run([]string{"-frames", "4", "-w", "64", "-h", "48", "-pw", "2", "-fixed"}, &b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{"fixed-point kernels", "mean three-pixel error"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
 func TestRunMetricsFlag(t *testing.T) {
 	var b strings.Builder
 	if err := run([]string{"-frames", "4", "-w", "64", "-h", "48", "-stream", "-metrics"}, &b); err != nil {

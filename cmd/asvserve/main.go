@@ -56,6 +56,7 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 			strings.Join(asv.BackendNames(), "|")))
 	matcherName := fs.String("matcher", "bm", "key-frame matcher (bm|sgm)")
 	maxDisp := fs.Int("maxdisp", 24, "matcher disparity search range")
+	fixed := fs.Bool("fixed", false, "use the fixed-point matching kernels (key matcher + guided refine)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -66,16 +67,19 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	case "bm":
 		opt := asv.DefaultBMOptions()
 		opt.MaxDisp = *maxDisp
+		opt.Fixed = *fixed
 		matcher = asv.BMKeyMatcher{Opt: opt}
 	case "sgm":
 		opt := asv.DefaultSGMOptions()
 		opt.MaxDisp = *maxDisp
+		opt.Fixed = *fixed
 		matcher = asv.SGMKeyMatcher{Opt: opt}
 	default:
 		return fmt.Errorf("unknown matcher %q (bm|sgm)", *matcherName)
 	}
 
 	cfg := asv.DefaultServeConfig()
+	cfg.Pipeline.BM.Fixed = *fixed
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}

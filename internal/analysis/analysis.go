@@ -64,6 +64,7 @@ func All() []*Analyzer {
 		AnalyzerMutexCopy,
 		AnalyzerAtomicAlign,
 		AnalyzerArchLayer,
+		AnalyzerFixedInt,
 	}
 }
 

@@ -119,6 +119,13 @@ func TestMutexCopyFixture(t *testing.T) {
 	runFixture(t, fixtureDir(t, "mutexcopy"), "asv/internal/analysis/testdata/mutexcopy", All())
 }
 
+func TestFixedIntFixture(t *testing.T) {
+	// The rule keys off the _fixed.go basename, not the package path, so a
+	// neutral path suffices; readout.go in the same fixture proves ordinary
+	// files may use float arithmetic freely.
+	runFixture(t, fixtureDir(t, "fixedint"), "asv/internal/analysis/testdata/fixedint", All())
+}
+
 func TestArchLayerFixture(t *testing.T) {
 	// Loaded under a neutral path, so the layering rule applies.
 	runFixture(t, fixtureDir(t, "archlayer"), "asv/internal/analysis/testdata/archlayer", All())

@@ -1,0 +1,83 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"path/filepath"
+	"strings"
+)
+
+// AnalyzerFixedInt keeps the fixed-point kernel files integer-only. The
+// stereo kernels follow a naming convention: files whose basename ends in
+// _fixed.go hold only integer arithmetic (uint8/uint16/uint32 with
+// saturating helpers), while the float orchestration and readout live in
+// ordinary files (fixedpoint.go). Float arithmetic creeping into a
+// *_fixed.go file silently reintroduces the rounding drift and per-element
+// conversion cost the fixed path exists to eliminate, so it is flagged.
+var AnalyzerFixedInt = &Analyzer{
+	Name: "fixedint",
+	Doc:  "float arithmetic in integer-only *_fixed.go kernel files",
+	Run:  runFixedInt,
+}
+
+func runFixedInt(p *Pass) []Diagnostic {
+	var out []Diagnostic
+	for _, f := range p.Files {
+		name := filepath.Base(p.Fset.Position(f.Pos()).Filename)
+		if !strings.HasSuffix(name, "_fixed.go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.BinaryExpr:
+				if isArithOp(n.Op) && (p.isFloat(n.X) || p.isFloat(n.Y)) {
+					out = append(out, p.diag(n.Pos(), "fixedint",
+						"float %s in fixed-point kernel file; keep *_fixed.go integer-only (float readout belongs in fixedpoint.go)", n.Op))
+				}
+			case *ast.AssignStmt:
+				if isArithAssign(n.Tok) && len(n.Lhs) == 1 && p.isFloat(n.Lhs[0]) {
+					out = append(out, p.diag(n.Pos(), "fixedint",
+						"float %s in fixed-point kernel file; keep *_fixed.go integer-only (float readout belongs in fixedpoint.go)", n.Tok))
+				}
+			case *ast.IncDecStmt:
+				if p.isFloat(n.X) {
+					out = append(out, p.diag(n.Pos(), "fixedint",
+						"float %s in fixed-point kernel file; keep *_fixed.go integer-only (float readout belongs in fixedpoint.go)", n.Tok))
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// isFloat reports whether the expression has (possibly untyped) floating or
+// complex type.
+func (p *Pass) isFloat(e ast.Expr) bool {
+	tv, ok := p.Info.Types[e]
+	if !ok || tv.Type == nil {
+		return false
+	}
+	b, ok := types.Unalias(tv.Type).Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// isArithOp reports whether op is a binary operator whose float use the rule
+// flags. Comparisons are allowed: ordering floats is readout logic, not
+// accumulation.
+func isArithOp(op token.Token) bool {
+	switch op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+		return true
+	}
+	return false
+}
+
+func isArithAssign(tok token.Token) bool {
+	switch tok {
+	case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+		return true
+	}
+	return false
+}

@@ -1,0 +1,42 @@
+// Package fixedint is an asvlint fixture: this file's _fixed.go basename
+// marks it integer-only, so every float arithmetic expression in it must be
+// flagged.
+package fixedint
+
+// Violation: float accumulation inside an integer-only kernel file.
+func sumCosts(costs []uint16) float64 {
+	var total float64
+	for _, c := range costs {
+		total += float64(c) // want `\[fixedint\] float \+= in fixed-point kernel file`
+	}
+	return total
+}
+
+// Violation: float binary arithmetic, including untyped float constants.
+func scale(a uint16) float32 {
+	return float32(a) * 0.5 // want `\[fixedint\] float \* in fixed-point kernel file`
+}
+
+// Violations: float division and subtraction.
+func normalize(a, b float64) float64 {
+	return (a - b) / b // want `\[fixedint\] float / in fixed-point kernel file` `\[fixedint\] float - in fixed-point kernel file`
+}
+
+// Clean: integer arithmetic is the point of these files.
+func satAdd(a, b uint16) uint16 {
+	s := uint32(a) + uint32(b)
+	if s > 65535 {
+		s = 65535
+	}
+	return uint16(s)
+}
+
+// Clean: comparing floats is readout logic, not accumulation.
+func better(a, b float32) bool {
+	return a < b
+}
+
+// Clean: converting an integer cost out to float without arithmetic.
+func toFloat(c uint16) float64 {
+	return float64(c)
+}

@@ -1,0 +1,20 @@
+package fixedint
+
+// Ordinary files may use float arithmetic freely: the fixedint rule keys off
+// the _fixed.go basename, and this readout-style code must stay clean.
+
+func subpixel(cm1, c0, cp1 float64) float64 {
+	den := cm1 - 2*c0 + cp1
+	if den <= 1e-12 {
+		return 0
+	}
+	return 0.5 * (cm1 - cp1) / den
+}
+
+func meanCost(costs []uint16) float64 {
+	var total float64
+	for _, c := range costs {
+		total += float64(c)
+	}
+	return total / float64(len(costs))
+}

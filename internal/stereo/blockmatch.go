@@ -23,6 +23,11 @@ type BMOptions struct {
 	// the given window radius (0 disables). Census costs are invariant to
 	// per-camera gain/offset, at a small cost in clean-image accuracy.
 	Census int
+	// Fixed selects the fixed-point kernels (fixedpoint.go): uint8-quantized
+	// intensities, cache-blocked sliding-window uint16 cost volumes. Census
+	// costs are bit-identical to the float path; SAD costs drift within the
+	// bound pinned by the quantized-oracle suite (DESIGN.md §9).
+	Fixed bool
 }
 
 // coster abstracts the per-candidate block cost.
@@ -81,6 +86,9 @@ func Match(left, right *imgproc.Image, opt BMOptions) *imgproc.Image {
 	if left.W != right.W || left.H != right.H {
 		panic(fmt.Sprintf("stereo: image sizes differ %dx%d vs %dx%d", left.W, left.H, right.W, right.H))
 	}
+	if opt.Fixed {
+		return matchFixed(left, right, opt)
+	}
 	out := imgproc.NewImage(left.W, left.H)
 	cost := makeCoster(left, right, opt)
 	par.For(left.H, func(y int) {
@@ -132,6 +140,9 @@ func Match(left, right *imgproc.Image, opt BMOptions) *imgproc.Image {
 func Refine(left, right, init *imgproc.Image, searchR int, opt BMOptions) *imgproc.Image {
 	if init.W != left.W || init.H != left.H {
 		panic("stereo: initial disparity size mismatch")
+	}
+	if opt.Fixed {
+		return refineFixed(left, right, init, searchR, opt)
 	}
 	out := imgproc.NewImage(left.W, left.H)
 	cost := makeCoster(left, right, opt)

@@ -21,6 +21,10 @@ type CVFOptions struct {
 	AggR     int     // box-aggregation radius per disparity plane
 	Truncate float32 // absolute-difference cost cap
 	Subpixel bool
+	// Fixed selects the fixed-point kernels (cvf_fixed.go): uint8-quantized
+	// truncated differences and integer sliding-window box sums. Drift vs
+	// the float path is bounded by the quantized-oracle suite.
+	Fixed bool
 }
 
 // DefaultCVFOptions returns the configuration used for the ELAS-class
@@ -34,6 +38,9 @@ func DefaultCVFOptions() CVFOptions {
 func CostVolumeFilter(left, right *imgproc.Image, opt CVFOptions) *imgproc.Image {
 	if left.W != right.W || left.H != right.H {
 		panic("stereo: image sizes differ")
+	}
+	if opt.Fixed {
+		return cvfFixed(left, right, opt)
 	}
 	w, h := left.W, left.H
 	nd := opt.MaxDisp + 1

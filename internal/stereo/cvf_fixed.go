@@ -1,0 +1,68 @@
+package stereo
+
+// Fixed-point cost-volume-filtering kernels (integer-only file; see
+// satmath_fixed.go). Per disparity plane: truncated uint8 absolute
+// differences of the quantized views, then an integer box *sum* (not mean)
+// via horizontal and vertical sliding windows — winner-take-all and the
+// parabola subpixel fit are both invariant to the constant (2r+1)² scale, so
+// dividing would only throw away precision.
+
+// adPlaneU8 fills dst[y*w+x] with min(|l8 - r8 shifted by d|, trunc),
+// clamping the right-view column at the left border like the float path.
+func adPlaneU8(l8, r8 []uint8, w, h, d int, trunc uint8, dst []uint8) {
+	for y := 0; y < h; y++ {
+		row := y * w
+		for x := 0; x < min(d, w); x++ {
+			dst[row+x] = min(absDiffU8(l8[row+x], r8[row]), trunc)
+		}
+		for x := d; x < w; x++ {
+			dst[row+x] = min(absDiffU8(l8[row+x], r8[row+x-d]), trunc)
+		}
+	}
+}
+
+// boxSumU16 fills dst[y*w+x] with the (2r+1)×(2r+1) replicate-border window
+// sum of src, using rowBuf (w*h uint16 scratch) for the horizontal pass.
+func boxSumU16(src []uint8, w, h, r int, rowBuf, dst []uint16) {
+	if r == 0 {
+		for i, v := range src {
+			dst[i] = uint16(v)
+		}
+		return
+	}
+	// Horizontal sliding window per row.
+	for y := 0; y < h; y++ {
+		row := y * w
+		var s uint32
+		for dx := -r; dx <= r; dx++ {
+			s += uint32(src[row+clampInt(dx, 0, w-1)])
+		}
+		rowBuf[row] = satU16(s)
+		for x := 1; x < w; x++ {
+			s += uint32(src[row+clampInt(x+r, 0, w-1)])
+			s -= uint32(src[row+clampInt(x-1-r, 0, w-1)])
+			rowBuf[row+x] = satU16(s)
+		}
+	}
+	// Vertical sliding window, one exact uint32 running sum per column.
+	col := make([]uint32, w)
+	for dy := -r; dy <= r; dy++ {
+		row := clampInt(dy, 0, h-1) * w
+		for x := 0; x < w; x++ {
+			col[x] += uint32(rowBuf[row+x])
+		}
+	}
+	for x := 0; x < w; x++ {
+		dst[x] = satU16(col[x])
+	}
+	for y := 1; y < h; y++ {
+		add := clampInt(y+r, 0, h-1) * w
+		sub := clampInt(y-1-r, 0, h-1) * w
+		row := y * w
+		for x := 0; x < w; x++ {
+			col[x] += uint32(rowBuf[add+x])
+			col[x] -= uint32(rowBuf[sub+x])
+			dst[row+x] = satU16(col[x])
+		}
+	}
+}

@@ -1,0 +1,38 @@
+package stereo
+
+import "testing"
+
+// FuzzSatAdd checks the saturating-arithmetic helpers against wide-integer
+// references on arbitrary inputs. Run via `make fuzz` or
+// `go test -fuzz=FuzzSatAdd ./internal/stereo`.
+func FuzzSatAdd(f *testing.F) {
+	f.Add(uint16(0), uint16(0), uint32(0), uint8(0), uint8(0))
+	f.Add(uint16(65535), uint16(1), uint32(1<<20), uint8(255), uint8(0))
+	f.Add(uint16(32768), uint16(32767), uint32(65535), uint8(7), uint8(200))
+	f.Fuzz(func(t *testing.T, a, b uint16, v uint32, p, q uint8) {
+		wide := uint32(a) + uint32(b)
+		if wide > 65535 {
+			wide = 65535
+		}
+		if got := satAdd16(a, b); uint32(got) != wide {
+			t.Fatalf("satAdd16(%d,%d) = %d, want %d", a, b, got, wide)
+		}
+		if satAdd16(a, b) != satAdd16(b, a) {
+			t.Fatalf("satAdd16 not commutative on (%d,%d)", a, b)
+		}
+		wantU := v
+		if wantU > 65535 {
+			wantU = 65535
+		}
+		if got := satU16(v); uint32(got) != wantU {
+			t.Fatalf("satU16(%d) = %d, want %d", v, got, wantU)
+		}
+		diff := int(p) - int(q)
+		if diff < 0 {
+			diff = -diff
+		}
+		if got := absDiffU8(p, q); int(got) != diff {
+			t.Fatalf("absDiffU8(%d,%d) = %d, want %d", p, q, got, diff)
+		}
+	})
+}

@@ -1,0 +1,131 @@
+package stereo
+
+import "math/bits"
+
+// Fixed-point block-matching cost kernels (integer-only file; see
+// satmath_fixed.go). The full-search matcher is restructured from the float
+// path's O(block²) work per candidate into sliding-window row/column sums
+// reused across candidates: one absolute-difference (or census-Hamming) row
+// per (row, disparity), slid horizontally in O(1) per pixel, then slid
+// vertically down a strip of rows. Per strip the kernel materializes a
+// struct-of-arrays uint16 cost volume laid out [row][disparity][x], sized by
+// sadStripRows to stay L2-resident (see DESIGN.md §9).
+
+// rowCoster fills dst[x] with the per-pixel matching cost at (x, yy) for
+// disparity d: quantized absolute difference for SAD, census Hamming
+// distance otherwise. Implementations clamp the right-view column to the
+// image (clamp-then-shift, matching the float census path's border rule).
+type rowCoster func(yy, d int, dst []uint16)
+
+// sadRowCost matches uint8-quantized intensities.
+func sadRowCost(l8, r8 []uint8, w int) rowCoster {
+	return func(yy, d int, dst []uint16) {
+		row := yy * w
+		// Columns with x-d < 0 clamp to the row start, exactly like the
+		// quantized reference in the differential tests.
+		for x := 0; x < min(d, w); x++ {
+			dst[x] = uint16(absDiffU8(l8[row+x], r8[row]))
+		}
+		for x := d; x < w; x++ {
+			dst[x] = uint16(absDiffU8(l8[row+x], r8[row+x-d]))
+		}
+	}
+}
+
+// censusRowCost matches precomputed census descriptor planes.
+func censusRowCost(cl, cr []uint64, w int) rowCoster {
+	return func(yy, d int, dst []uint16) {
+		row := yy * w
+		for x := 0; x < min(d, w); x++ {
+			dst[x] = uint16(bits.OnesCount64(cl[row+x] ^ cr[row]))
+		}
+		for x := d; x < w; x++ {
+			dst[x] = uint16(bits.OnesCount64(cl[row+x] ^ cr[row+x-d]))
+		}
+	}
+}
+
+// sadStripRows is the row-band height of the strip-blocked matcher. The
+// per-strip working set is the SoA cost volume (sadStripRows·nd·W uint16,
+// ~1.3 MiB at W=320, nd=65) plus the row-sum ring ((sadStripRows+2r)·W
+// uint16), which together stay L2-resident at the frame sizes this repo
+// serves while leaving enough strips to parallelize across rows.
+const sadStripRows = 32
+
+// blockCostStrip fills vol, the strip's struct-of-arrays cost volume
+//
+//	vol[((y-y0)*nd + d)*w + x] = Σ_{|dy|<=r, |dx|<=r} cost(clamp(x+dx), clamp(y+dy), d)
+//
+// for rows [y0, y1) of an h-row image, using one rowCoster evaluation per
+// (row, disparity) and O(1) sliding-window updates per pixel. adBuf must
+// hold w entries and rowSum (y1-y0+2r)*w entries; both are scratch owned by
+// the calling strip.
+func blockCostStrip(cost rowCoster, w, h, y0, y1, r, nd int, adBuf []uint16, rowSum []uint16, vol []uint16) {
+	for d := 0; d < nd; d++ {
+		// Row block sums for every image row the vertical window touches,
+		// with replicate clamping at the top and bottom borders.
+		for yy := y0 - r; yy < y1+r; yy++ {
+			cost(clampInt(yy, 0, h-1), d, adBuf)
+			slideRow(adBuf, w, r, rowSum[(yy-(y0-r))*w:])
+		}
+		// Vertical sliding window down the strip, exact uint32 running sums.
+		for x := 0; x < w; x++ {
+			var s uint32
+			for dy := -r; dy <= r; dy++ {
+				s += uint32(rowSum[(dy+r)*w+x])
+			}
+			vol[d*w+x] = satU16(s)
+			for y := y0 + 1; y < y1; y++ {
+				i := y - y0
+				s += uint32(rowSum[(i+2*r)*w+x])
+				s -= uint32(rowSum[(i-1)*w+x])
+				vol[(i*nd+d)*w+x] = satU16(s)
+			}
+		}
+	}
+}
+
+// slideRow fills dst[x] with the horizontally clamped window sum
+// Σ_{|dx|<=r} src[clamp(x+dx)] via an exact uint32 running sum.
+func slideRow(src []uint16, w, r int, dst []uint16) {
+	var s uint32
+	for dx := -r; dx <= r; dx++ {
+		s += uint32(src[clampInt(dx, 0, w-1)])
+	}
+	dst[0] = satU16(s)
+	for x := 1; x < w; x++ {
+		s += uint32(src[clampInt(x+r, 0, w-1)])
+		s -= uint32(src[clampInt(x-1-r, 0, w-1)])
+		dst[x] = satU16(s)
+	}
+}
+
+// sadBlockU8 returns the quantized block SAD of aligning the block around
+// (x, y) with disparity d — the per-candidate cost of the fixed-point guided
+// refinement, where candidate centers vary per pixel and window reuse does
+// not apply. Border handling is clamp-then-shift, matching blockCostStrip.
+func sadBlockU8(l8, r8 []uint8, w, h, x, y, d, r int) uint32 {
+	var s uint32
+	for dy := -r; dy <= r; dy++ {
+		row := clampInt(y+dy, 0, h-1) * w
+		for dx := -r; dx <= r; dx++ {
+			xx := clampInt(x+dx, 0, w-1)
+			s += uint32(absDiffU8(l8[row+xx], r8[row+clampInt(xx-d, 0, w-1)]))
+		}
+	}
+	return s
+}
+
+// hamBlockU64 is sadBlockU8's census counterpart: the block Hamming cost
+// between census descriptor planes, identical to the float census path.
+func hamBlockU64(cl, cr []uint64, w, h, x, y, d, r int) uint32 {
+	var s uint32
+	for dy := -r; dy <= r; dy++ {
+		row := clampInt(y+dy, 0, h-1) * w
+		for dx := -r; dx <= r; dx++ {
+			xx := clampInt(x+dx, 0, w-1)
+			s += uint32(bits.OnesCount64(cl[row+xx] ^ cr[row+clampInt(xx-d, 0, w-1)]))
+		}
+	}
+	return s
+}

@@ -1,0 +1,32 @@
+package stereo
+
+// Saturating integer helpers shared by the fixed-point matching kernels.
+//
+// Every file named *_fixed.go is an integer-only kernel file: the asvlint
+// `fixedint` rule flags any float arithmetic inside them, so the cost
+// accumulation paths can never silently fall back to floating point. Float
+// conversions happen only at the readout layer (fixedpoint.go), where
+// integer costs become subpixel-refined float32 disparities.
+
+// satAdd16 returns a+b clamped to the uint16 range. SGM path accumulators
+// and cross-path sums use it so that pathological penalty settings saturate
+// instead of wrapping around (a wrapped cost would win winner-take-all).
+func satAdd16(a, b uint16) uint16 {
+	s := uint32(a) + uint32(b)
+	return uint16(min(s, 65535))
+}
+
+// satU16 clamps a uint32 running sum into a uint16 cost cell. The sliding
+// window sums keep exact uint32 accumulators (so incremental subtraction
+// stays correct) and saturate only when a value is stored.
+func satU16(v uint32) uint16 {
+	return uint16(min(v, 65535))
+}
+
+// absDiffU8 returns |a-b| for two uint8 samples.
+func absDiffU8(a, b uint8) uint8 {
+	if a > b {
+		return a - b
+	}
+	return b - a
+}

@@ -16,6 +16,11 @@ type SGMOptions struct {
 	P1, P2   float32 // small- and large-jump smoothness penalties
 	Paths    int     // 4 or 8 aggregation directions
 	Subpixel bool    // parabola subpixel refinement on the aggregated costs
+	// Fixed selects the fixed-point aggregation (sgm_fixed.go): uint8 census
+	// costs, two-pass rolling-row uint16 path accumulators with saturating
+	// adds. With integral P1/P2 (the defaults) the result is bit-identical
+	// to the float path; fractional penalties round to the nearest integer.
+	Fixed bool
 }
 
 // DefaultSGMOptions returns the configuration used for the "HH/SGBN-class"
@@ -150,12 +155,23 @@ func SGM(left, right *imgproc.Image, opt SGMOptions) *imgproc.Image {
 	if opt.Paths != 4 && opt.Paths != 8 {
 		panic(fmt.Sprintf("stereo: SGM paths must be 4 or 8, got %d", opt.Paths))
 	}
+	if opt.Fixed {
+		return sgmFixed(left, right, opt)
+	}
 	w, h, nd := left.W, left.H, opt.MaxDisp+1
 	cost := costVolume(left, right, opt)
-	lrs := make([][]float32, opt.Paths)
-	par.For(opt.Paths, func(i int) {
+	sum := aggregateAll(cost, w, h, nd, opt.Paths, opt.P1, opt.P2)
+	return wtaVolume(sum, w, h, nd, opt.Subpixel)
+}
+
+// aggregateAll runs the path aggregation along opt.Paths directions and
+// returns the summed cost volume. Split from SGM so the kernel benchmark
+// (kernelbench.go) can time aggregation in isolation.
+func aggregateAll(cost []float32, w, h, nd, paths int, p1, p2 float32) []float32 {
+	lrs := make([][]float32, paths)
+	par.For(paths, func(i int) {
 		dir := sgmDirs[i]
-		lrs[i] = aggregateDir(cost, w, h, nd, dir[0], dir[1], opt.P1, opt.P2)
+		lrs[i] = aggregateDir(cost, w, h, nd, dir[0], dir[1], p1, p2)
 	})
 	sum := lrs[0]
 	for _, lr := range lrs[1:] {
@@ -163,6 +179,13 @@ func SGM(left, right *imgproc.Image, opt SGMOptions) *imgproc.Image {
 			sum[i] += lr[i]
 		}
 	}
+	return sum
+}
+
+// wtaVolume reads a summed cost volume (pixel-major, disparity innermost)
+// out into disparities: winner-take-all restricted to d <= x with optional
+// subpixel refinement.
+func wtaVolume(sum []float32, w, h, nd int, subpixel bool) *imgproc.Image {
 	out := imgproc.NewImage(w, h)
 	par.For(h, func(y int) {
 		for x := 0; x < w; x++ {
@@ -179,7 +202,7 @@ func SGM(left, right *imgproc.Image, opt SGMOptions) *imgproc.Image {
 				}
 			}
 			disp := float64(bestD)
-			if opt.Subpixel && bestD > 0 && bestD < hi {
+			if subpixel && bestD > 0 && bestD < hi {
 				disp += subpixelFit(float64(sum[base+bestD-1]), float64(sum[base+bestD]), float64(sum[base+bestD+1]))
 			}
 			out.Set(x, y, float32(disp))

@@ -1,0 +1,191 @@
+package stereo
+
+import (
+	"math/bits"
+
+	"asv/internal/par"
+)
+
+// Fixed-point SGM aggregation (integer-only file; see satmath_fixed.go).
+//
+// The float path materializes one full float32 Lr volume per direction
+// (8·W·H·D·4 bytes) and reduces them afterwards. The fixed path instead
+// makes two sweeps over the uint8 census-cost volume — a forward pass
+// (top-down, left-to-right) carrying the W/NW/N/NE directions and a backward
+// pass (bottom-up, right-to-left) carrying E/SW/S/SE — and each direction
+// keeps only two rolling rows of uint16 path costs (2·W·D cells). Path costs
+// are accumulated into one uint16 sum volume with saturating adds as they
+// are produced, so the working set per row is a few hundred KiB instead of
+// eight full volumes. The recurrence, visiting order per path, and border
+// rule are exactly the float ones, so with integral penalties the summed
+// costs are bit-identical to the float aggregation.
+
+// costVolumeU8 builds the uint8 census-Hamming cost volume
+// C[(y*W+x)*(D+1)+d]; cells whose right-view column falls outside the image
+// get maxCost, like the float path.
+func costVolumeU8(cl, cr []uint64, w, h, nd int, maxCost uint8) []uint8 {
+	vol := make([]uint8, w*h*nd)
+	par.For(h, func(y int) {
+		row := y * w
+		for x := 0; x < w; x++ {
+			base := (row + x) * nd
+			hi := min(nd, x+1)
+			for d := 0; d < hi; d++ {
+				vol[base+d] = uint8(bits.OnesCount64(cl[row+x] ^ cr[row+x-d]))
+			}
+			for d := hi; d < nd; d++ {
+				vol[base+d] = maxCost
+			}
+		}
+	})
+	return vol
+}
+
+// sgmStepFixed computes one pixel's path costs dst[0:nd] along a direction
+// from the predecessor's costs prev (nil at a path start, where dst is a
+// copy of the matching costs), then accumulates dst into sum with saturating
+// adds. The d loop is peeled at both ends so the interior is branch-free:
+// per disparity it is two saturating adds, three mins and a subtraction, the
+// form that maps onto conditional moves.
+func sgmStepFixed(dst, prev, sum []uint16, costRow []uint8, nd int, p1, p2 uint16) {
+	if prev == nil {
+		for d := 0; d < nd; d++ {
+			c := uint16(costRow[d])
+			dst[d] = c
+			sum[d] = satAdd16(sum[d], c)
+		}
+		return
+	}
+	minPrev := prev[0]
+	for d := 1; d < nd; d++ {
+		minPrev = min(minPrev, prev[d])
+	}
+	jump := satAdd16(minPrev, p2)
+	if nd == 1 {
+		v := satAdd16(uint16(costRow[0]), min(prev[0], jump)-minPrev)
+		dst[0] = v
+		sum[0] = satAdd16(sum[0], v)
+		return
+	}
+	// d = 0: no d-1 neighbour.
+	best := min(min(prev[0], satAdd16(prev[1], p1)), jump)
+	v := satAdd16(uint16(costRow[0]), best-minPrev)
+	dst[0] = v
+	sum[0] = satAdd16(sum[0], v)
+	for d := 1; d < nd-1; d++ {
+		best = min(min(prev[d], jump), satAdd16(min(prev[d-1], prev[d+1]), p1))
+		v = satAdd16(uint16(costRow[d]), best-minPrev)
+		dst[d] = v
+		sum[d] = satAdd16(sum[d], v)
+	}
+	// d = nd-1: no d+1 neighbour.
+	best = min(min(prev[nd-1], satAdd16(prev[nd-2], p1)), jump)
+	v = satAdd16(uint16(costRow[nd-1]), best-minPrev)
+	dst[nd-1] = v
+	sum[nd-1] = satAdd16(sum[nd-1], v)
+}
+
+// sgmRolling is one direction's pair of rolling Lr rows.
+type sgmRolling struct {
+	prev, cur []uint16 // w*nd path costs of the previous and current row
+}
+
+func newSGMRolling(w, nd int) *sgmRolling {
+	return &sgmRolling{prev: make([]uint16, w*nd), cur: make([]uint16, w*nd)}
+}
+
+func (s *sgmRolling) swap() { s.prev, s.cur = s.cur, s.prev }
+
+// aggregateFixed sums the SGM path costs over 4 or 8 directions into a
+// uint16 volume with the same layout as cost.
+func aggregateFixed(cost []uint8, w, h, nd, paths int, p1, p2 uint16) []uint16 {
+	sum := make([]uint16, w*h*nd)
+	diag := paths == 8
+
+	// Forward pass: horizontal left-to-right, vertical top-down and (with 8
+	// paths) both down-going diagonals.
+	hor := newSGMRolling(w, nd)
+	ver := newSGMRolling(w, nd)
+	var dl, dr *sgmRolling
+	if diag {
+		dl = newSGMRolling(w, nd) // predecessor (x-1, y-1)
+		dr = newSGMRolling(w, nd) // predecessor (x+1, y-1)
+	}
+	for y := 0; y < h; y++ {
+		hor.swap()
+		ver.swap()
+		if diag {
+			dl.swap()
+			dr.swap()
+		}
+		rowBase := y * w * nd
+		for x := 0; x < w; x++ {
+			b := x * nd
+			costRow := cost[rowBase+b : rowBase+b+nd]
+			sumRow := sum[rowBase+b : rowBase+b+nd]
+			var pHor, pVer []uint16
+			if x > 0 {
+				pHor = hor.cur[b-nd : b]
+			}
+			if y > 0 {
+				pVer = ver.prev[b : b+nd]
+			}
+			sgmStepFixed(hor.cur[b:b+nd], pHor, sumRow, costRow, nd, p1, p2)
+			sgmStepFixed(ver.cur[b:b+nd], pVer, sumRow, costRow, nd, p1, p2)
+			if diag {
+				var pDL, pDR []uint16
+				if x > 0 && y > 0 {
+					pDL = dl.prev[b-nd : b]
+				}
+				if x+1 < w && y > 0 {
+					pDR = dr.prev[b+nd : b+2*nd]
+				}
+				sgmStepFixed(dl.cur[b:b+nd], pDL, sumRow, costRow, nd, p1, p2)
+				sgmStepFixed(dr.cur[b:b+nd], pDR, sumRow, costRow, nd, p1, p2)
+			}
+		}
+	}
+
+	// Backward pass: the four mirrored directions, bottom-up right-to-left.
+	hor = newSGMRolling(w, nd)
+	ver = newSGMRolling(w, nd)
+	if diag {
+		dl = newSGMRolling(w, nd) // predecessor (x-1, y+1)
+		dr = newSGMRolling(w, nd) // predecessor (x+1, y+1)
+	}
+	for y := h - 1; y >= 0; y-- {
+		hor.swap()
+		ver.swap()
+		if diag {
+			dl.swap()
+			dr.swap()
+		}
+		rowBase := y * w * nd
+		for x := w - 1; x >= 0; x-- {
+			b := x * nd
+			costRow := cost[rowBase+b : rowBase+b+nd]
+			sumRow := sum[rowBase+b : rowBase+b+nd]
+			var pHor, pVer []uint16
+			if x+1 < w {
+				pHor = hor.cur[b+nd : b+2*nd]
+			}
+			if y+1 < h {
+				pVer = ver.prev[b : b+nd]
+			}
+			sgmStepFixed(hor.cur[b:b+nd], pHor, sumRow, costRow, nd, p1, p2)
+			sgmStepFixed(ver.cur[b:b+nd], pVer, sumRow, costRow, nd, p1, p2)
+			if diag {
+				var pDL, pDR []uint16
+				if x > 0 && y+1 < h {
+					pDL = dl.prev[b-nd : b]
+				}
+				if x+1 < w && y+1 < h {
+					pDR = dr.prev[b+nd : b+2*nd]
+				}
+				sgmStepFixed(dl.cur[b:b+nd], pDL, sumRow, costRow, nd, p1, p2)
+				sgmStepFixed(dr.cur[b:b+nd], pDR, sumRow, costRow, nd, p1, p2)
+			}
+		}
+	}
+	return sum
+}
