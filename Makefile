@@ -17,12 +17,13 @@ FUZZ_TARGETS := \
 	./internal/imgproc:FuzzImagePool \
 	./internal/deconv:FuzzTransformEquivalence \
 	./internal/schedule:FuzzCostModelInvariants \
-	./internal/stereo:FuzzSatAdd
+	./internal/stereo:FuzzSatAdd \
+	./internal/serve:FuzzSnapshotDecode
 
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate serve-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate serve-smoke cluster-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -64,6 +65,12 @@ kernels-gate:
 serve-smoke:
 	./scripts/serve_smoke.sh
 
+# End-to-end smoke of the sharded tier: two asvserve shards sharing a spill
+# directory, an asvgate over them, load through the gateway, then a drain
+# that must migrate every session and keep its stream serving.
+cluster-smoke:
+	./scripts/cluster_smoke.sh
+
 fmt:
 	gofmt -w .
 
@@ -101,4 +108,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cover kernels-gate
+check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke cover kernels-gate

@@ -423,9 +423,11 @@ func pipelineBench() {
 // against a deliberately tiny admission queue to observe backpressure.
 // ASV_SMOKE=1 shrinks the run for CI.
 func serveBench() {
-	bc := asv.ServeBenchConfig{W: 128, H: 80, PW: 4, Sessions: 4, Frames: 16, QPS: 40}
+	bc := asv.ServeBenchConfig{W: 128, H: 80, PW: 4, Sessions: 4, Frames: 16, QPS: 40,
+		ShardFrameMs: 12, ShardSessions: 10, ShardFrames: 20}
 	if os.Getenv("ASV_SMOKE") != "" {
-		bc = asv.ServeBenchConfig{W: 64, H: 48, PW: 4, Sessions: 2, Frames: 6, QPS: 30}
+		bc = asv.ServeBenchConfig{W: 64, H: 48, PW: 4, Sessions: 2, Frames: 6, QPS: 30,
+			ShardFrameMs: 12, ShardSessions: 6, ShardFrames: 10}
 	}
 	doc, err := asv.MeasureServeLoad(bc)
 	if err != nil {
@@ -443,12 +445,30 @@ func serveBench() {
 		[]string{"phase", "req", "ok", "429", "5xx", "p50-ms", "p95-ms", "p99-ms", "req/s"},
 		[][]string{row("normal", doc.Normal), row("overload", doc.Overload)})
 
-	if doc.Normal.Status5xx > 0 || doc.Overload.Status5xx > 0 {
+	ms := doc.MultiShard
+	shardRow := func(name string, r asv.ServeLoadReport) []string {
+		return []string{name, fmt.Sprintf("%d", r.Requests), fmt.Sprintf("%d", r.OK),
+			fmt.Sprintf("%d", r.Rejected), fmt.Sprintf("%d", r.Status5xx),
+			fmt.Sprintf("%.1f", r.P50Ms), fmt.Sprintf("%.1f", r.P99Ms),
+			fmt.Sprintf("%.1f", r.OKRps)}
+	}
+	table(fmt.Sprintf("Gateway scaling: %d sessions x %d frames, %d ms/frame shards",
+		ms.Sessions, ms.Frames, ms.FrameMs),
+		[]string{"shards", "req", "ok", "429", "5xx", "p50-ms", "p99-ms", "ok/s"},
+		[][]string{shardRow("1", ms.OneShard), shardRow("2", ms.TwoShard)})
+	fmt.Printf("  2-shard scaling: %.2fx\n", ms.ScaleX)
+
+	if doc.Normal.Status5xx > 0 || doc.Overload.Status5xx > 0 ||
+		ms.OneShard.Status5xx > 0 || ms.TwoShard.Status5xx > 0 {
 		fmt.Fprintln(os.Stderr, "serve bench: observed 5xx responses")
 		os.Exit(1)
 	}
 	if doc.Overload.Rejected == 0 {
 		fmt.Fprintln(os.Stderr, "serve bench: overload phase saw no 429 backpressure")
+		os.Exit(1)
+	}
+	if ms.ScaleX < 1.6 {
+		fmt.Fprintf(os.Stderr, "serve bench: 2-shard scaling %.2fx below the 1.6x floor\n", ms.ScaleX)
 		os.Exit(1)
 	}
 

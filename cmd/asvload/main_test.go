@@ -84,3 +84,49 @@ func TestLoadRefusesDeadServer(t *testing.T) {
 		t.Fatal("expected an error against a dead server")
 	}
 }
+
+// TestLoadClusterMode drives two live servers through -addrs and checks the
+// aggregate sums the per-target reports.
+func TestLoadClusterMode(t *testing.T) {
+	a, b := startServer(t), startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addrs", a + "," + b, "-sessions", "2", "-frames", "4",
+		"-w", "48", "-h", "32", "-pw", "2", "-json",
+	}, &out)
+	if err != nil {
+		t.Fatalf("run: %v (output: %s)", err, out.String())
+	}
+
+	var crep asv.ServeClusterLoadReport
+	if err := json.Unmarshal(out.Bytes(), &crep); err != nil {
+		t.Fatalf("parsing report: %v from %s", err, out.String())
+	}
+	if len(crep.Targets) != 2 {
+		t.Fatalf("want 2 targets, got %d", len(crep.Targets))
+	}
+	sum := 0
+	for name, rep := range crep.Targets {
+		if rep.OK != 8 {
+			t.Fatalf("target %s: want 8 ok, got %+v", name, rep)
+		}
+		sum += rep.OK
+	}
+	if crep.Aggregate.OK != sum || crep.Aggregate.Requests != 16 {
+		t.Fatalf("aggregate does not sum targets: %+v", crep.Aggregate)
+	}
+	if crep.Aggregate.P99Ms <= 0 {
+		t.Fatalf("aggregate percentiles missing: %+v", crep.Aggregate)
+	}
+}
+
+func TestLoadClusterModeFailsOnDeadTarget(t *testing.T) {
+	a := startServer(t)
+	var out bytes.Buffer
+	err := run([]string{
+		"-addrs", a + ",http://127.0.0.1:1", "-frames", "1", "-timeout", "2s",
+	}, &out)
+	if err == nil {
+		t.Fatal("expected an error when one cluster target is dead")
+	}
+}

@@ -54,6 +54,8 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	backendName := fs.String("backend", "systolic",
 		fmt.Sprintf("accelerator model for the /metrics per-frame cost estimate (%s; empty disables)",
 			strings.Join(asv.BackendNames(), "|")))
+	spillDir := fs.String("spill-dir", "", "directory for session snapshots (eviction spill + checkpoints); share it across shards for failover")
+	checkpointEvery := fs.Int("checkpoint-every", 0, "checkpoint each session to -spill-dir every N frames (0 = only on eviction)")
 	matcherName := fs.String("matcher", "bm", "key-frame matcher (bm|sgm)")
 	maxDisp := fs.Int("maxdisp", 24, "matcher disparity search range")
 	fixed := fs.Bool("fixed", false, "use the fixed-point matching kernels (key matcher + guided refine)")
@@ -103,6 +105,13 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	}
 	if *maxPixels > 0 {
 		cfg.MaxPixels = *maxPixels
+	}
+	cfg.SpillDir = *spillDir
+	if *checkpointEvery > 0 {
+		if *spillDir == "" {
+			return fmt.Errorf("-checkpoint-every needs -spill-dir")
+		}
+		cfg.CheckpointEvery = *checkpointEvery
 	}
 	cfg.EnablePprof = *pprofOn
 	if *backendName != "" {

@@ -1,0 +1,224 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"testing"
+	"time"
+
+	"asv/internal/core"
+	"asv/internal/dataset"
+	"asv/internal/imgproc"
+	"asv/internal/serve"
+	"asv/internal/stereo"
+)
+
+// TestChaosShardDeathMidStream is the cluster-grade failure drill: a
+// three-shard cluster with per-frame checkpoints into a shared spill store,
+// streams in flight on every shard, and one shard killed (listener torn
+// down, no drain, no goodbye) mid-stream. The requirements afterwards:
+//
+//   - not a single 5xx reaches any client;
+//   - every stream — including those owned by the dead shard — continues
+//     frame-for-frame bit-identical to an uninterrupted serial pipeline,
+//     which means the surviving shards adopted the dead shard's sessions
+//     from their last checkpoints with full ISM state (key-frame cadence,
+//     propagation planes, frame indices) intact.
+//
+// Run under -race in CI (scripts/cluster_smoke.sh and the race gate).
+func TestChaosShardDeathMidStream(t *testing.T) {
+	const (
+		nShards   = 3
+		nSessions = 6
+		wPx, hPx  = 48, 32
+		nFrames   = 8
+		killAfter = 4 // frames completed per session before the kill
+		pw        = 2
+		seedBase  = int64(9000)
+	)
+
+	spillDir := t.TempDir()
+	opt := stereo.DefaultBMOptions()
+	opt.MaxDisp = 12
+	matcher := core.BMMatcher{Opt: opt}
+
+	type shard struct {
+		name string
+		srv  *serve.Server
+		url  string
+	}
+	shards := make([]shard, nShards)
+	var gwShards []Shard
+	for i := range shards {
+		cfg := serve.DefaultConfig()
+		cfg.Workers = 1
+		cfg.SpillDir = spillDir
+		cfg.CheckpointEvery = 1
+		srv := serve.New(matcher, cfg)
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			t.Fatal(err)
+		}
+		name := fmt.Sprintf("chaos-%d", i)
+		shards[i] = shard{name: name, srv: srv, url: "http://" + addr.String()}
+		gwShards = append(gwShards, Shard{Name: name, URL: shards[i].url})
+		t.Cleanup(func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+			defer cancel()
+			//asvlint:ignore droppederr the killed shard reports a closed listener; expected
+			srv.Close(ctx)
+		})
+	}
+
+	g, err := New(Config{Shards: gwShards})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwAddr, err := g.Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gwURL := "http://" + gwAddr.String()
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := g.Close(ctx); err != nil {
+			t.Errorf("closing gateway: %v", err)
+		}
+	})
+
+	// Create the sessions through the gateway and build each one's oracle:
+	// a serial pipeline over the identical synthetic sequence.
+	type stream struct {
+		id   string
+		want []core.Result
+	}
+	streams := make([]stream, nSessions)
+	ocfg := serve.DefaultConfig().Pipeline
+	ocfg.PW = pw
+	for i := range streams {
+		seed := seedBase + int64(i)
+		body := fmt.Sprintf(`{"pw":%d,"preset":"sceneflow","w":%d,"h":%d,"frames":%d,"seed":%d}`,
+			pw, wPx, hPx, nFrames, seed)
+		resp, err := http.Post(gwURL+"/v1/sessions", "application/json", bytes.NewReader([]byte(body)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusCreated {
+			t.Fatalf("create: %d: %s", resp.StatusCode, raw)
+		}
+		var info serve.SessionInfo
+		if err := json.Unmarshal(raw, &info); err != nil {
+			t.Fatal(err)
+		}
+		streams[i].id = info.ID
+
+		seq := dataset.Generate(dataset.SceneFlowLike(wPx, hPx, nFrames, seed)[0])
+		oracle := core.New(matcher, ocfg)
+		streams[i].want = make([]core.Result, nFrames)
+		for f := 0; f < nFrames; f++ {
+			streams[i].want[f] = oracle.Process(seq.Frames[f].Left, seq.Frames[f].Right)
+		}
+	}
+
+	// checkFrame submits frame f of stream st through the gateway and holds
+	// it against the oracle. Every response must be a 200 — the chaos bar.
+	checkFrame := func(st stream, f int) {
+		t.Helper()
+		resp, err := http.Post(gwURL+"/v1/sessions/"+st.id+"/frames?disparity=pfm", "", nil)
+		if err != nil {
+			t.Fatalf("frame %d of %s: transport: %v", f, st.id, err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("frame %d of %s: status %d (client saw a failure): %s", f, st.id, resp.StatusCode, body)
+		}
+		if got := resp.Header.Get("X-Asv-Frame"); got != strconv.Itoa(f) {
+			t.Fatalf("stream %s: expected frame %d, shard served %s — stream state was lost", st.id, f, got)
+		}
+		isKey, _ := strconv.ParseBool(resp.Header.Get("X-Asv-Is-Key"))
+		if isKey != st.want[f].IsKey {
+			t.Fatalf("frame %d of %s: is_key=%v, oracle says %v — ISM cadence broke", f, st.id, isKey, st.want[f].IsKey)
+		}
+		got, err := imgproc.ReadPFM(bytes.NewReader(body))
+		if err != nil {
+			t.Fatalf("frame %d of %s: %v", f, st.id, err)
+		}
+		for p := range got.Pix {
+			if got.Pix[p] != st.want[f].Disparity.Pix[p] {
+				t.Fatalf("frame %d of %s diverges at pixel %d: %g vs oracle %g",
+					f, st.id, p, got.Pix[p], st.want[f].Disparity.Pix[p])
+			}
+		}
+	}
+
+	// Phase 1: advance every stream to the kill point.
+	for f := 0; f < killAfter; f++ {
+		for _, st := range streams {
+			checkFrame(st, f)
+		}
+	}
+
+	// Kill the shard owning stream 0 — ungracefully. Its checkpoints are
+	// the only copy of its sessions' state.
+	victim := g.ring.Owner(streams[0].id)
+	victimOwned := 0
+	for _, st := range streams {
+		if g.ring.Owner(st.id) == victim {
+			victimOwned++
+		}
+	}
+	for _, sh := range shards {
+		if sh.name == victim {
+			if err := sh.srv.Kill(); err != nil {
+				t.Fatalf("killing shard %s: %v", victim, err)
+			}
+		}
+	}
+
+	// Phase 2: every stream continues — the victim's through failover plus
+	// checkpoint adoption, the others untouched.
+	for f := killAfter; f < nFrames; f++ {
+		for _, st := range streams {
+			checkFrame(st, f)
+		}
+	}
+
+	if g.failovers.Load() == 0 {
+		t.Fatal("no failover recorded although a shard died with live sessions")
+	}
+
+	// The survivors must report adopting the dead shard's sessions from
+	// the shared spill store.
+	adopted := int64(0)
+	for _, sh := range shards {
+		if sh.name == victim {
+			continue
+		}
+		resp, err := http.Get(sh.url + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var m struct {
+			Serve struct {
+				DiskRestores int64 `json:"disk_restores"`
+			} `json:"serve"`
+		}
+		if err := json.NewDecoder(resp.Body).Decode(&m); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		adopted += m.Serve.DiskRestores
+	}
+	if adopted < int64(victimOwned) {
+		t.Fatalf("survivors adopted %d sessions from disk, the dead shard owned %d", adopted, victimOwned)
+	}
+}

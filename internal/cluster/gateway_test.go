@@ -1,0 +1,460 @@
+package cluster
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"asv/internal/core"
+	"asv/internal/serve"
+	"asv/internal/stereo"
+)
+
+// stubShardServer records which session ids it saw, so routing tests can
+// check affinity without running real stereo matching.
+type stubShardServer struct {
+	name string
+	mu   sync.Mutex
+	seen map[string]int // session id → request count
+	ts   *httptest.Server
+}
+
+func newStubShard(t *testing.T, name string) *stubShardServer {
+	t.Helper()
+	s := &stubShardServer{name: name, seen: make(map[string]int)}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprint(w, `{"status":"ok"}`)
+	})
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		var req serve.CreateSessionRequest
+		if err := json.NewDecoder(r.Body).Decode(&req); err != nil || req.ID == "" {
+			http.Error(w, `{"error":"stub shard requires an id"}`, http.StatusBadRequest)
+			return
+		}
+		s.note(req.ID)
+		w.Header().Set("X-ASV-Shard", s.name)
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id":%q,"pw":%d}`, req.ID, req.PW)
+	})
+	mux.HandleFunc("/v1/sessions/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s.note(r.PathValue("id"))
+		w.Header().Set("X-ASV-Shard", s.name)
+		fmt.Fprintf(w, `{"id":%q}`, r.PathValue("id"))
+	})
+	mux.HandleFunc("/v1/sessions/{id}/{rest...}", func(w http.ResponseWriter, r *http.Request) {
+		s.note(r.PathValue("id"))
+		w.Header().Set("X-ASV-Shard", s.name)
+		w.Header().Set("X-ASV-Frame", "0")
+		fmt.Fprintf(w, `{"session":%q,"frame":0}`, r.PathValue("id"))
+	})
+	s.ts = httptest.NewServer(mux)
+	t.Cleanup(s.ts.Close)
+	return s
+}
+
+func (s *stubShardServer) note(id string) {
+	s.mu.Lock()
+	s.seen[id]++
+	s.mu.Unlock()
+}
+
+func (s *stubShardServer) count(id string) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.seen[id]
+}
+
+func newTestGateway(t *testing.T, cfg Config) (*Gateway, *httptest.Server) {
+	t.Helper()
+	g, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(g.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+		defer cancel()
+		if err := g.Close(ctx); err != nil {
+			t.Errorf("closing gateway: %v", err)
+		}
+	})
+	return g, ts
+}
+
+func createViaGateway(t *testing.T, base string, body string) serve.SessionInfo {
+	t.Helper()
+	resp, err := http.Post(base+"/v1/sessions", "application/json", strings.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	raw, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusCreated {
+		t.Fatalf("create via gateway: %d: %s", resp.StatusCode, raw)
+	}
+	var info serve.SessionInfo
+	if err := json.Unmarshal(raw, &info); err != nil {
+		t.Fatal(err)
+	}
+	return info
+}
+
+// TestGatewayAffinityAndIDInjection: the gateway mints ids for creates and
+// every subsequent request for a session lands on the same shard — the one
+// the ring names.
+func TestGatewayAffinityAndIDInjection(t *testing.T) {
+	shards := []*stubShardServer{
+		newStubShard(t, "s0"), newStubShard(t, "s1"), newStubShard(t, "s2"),
+	}
+	cfg := Config{}
+	for _, s := range shards {
+		cfg.Shards = append(cfg.Shards, Shard{Name: s.name, URL: s.ts.URL})
+	}
+	g, ts := newTestGateway(t, cfg)
+
+	byName := make(map[string]*stubShardServer)
+	for _, s := range shards {
+		byName[s.name] = s
+	}
+
+	for i := 0; i < 20; i++ {
+		info := createViaGateway(t, ts.URL, `{"pw":2,"preset":"sceneflow","w":32,"h":24,"frames":4}`)
+		if info.ID == "" {
+			t.Fatal("gateway did not inject a session id")
+		}
+		owner := g.ring.Owner(info.ID)
+		for f := 0; f < 3; f++ {
+			resp, err := http.Post(ts.URL+"/v1/sessions/"+info.ID+"/frames", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got := resp.Header.Get("X-ASV-Shard"); got != owner {
+				t.Fatalf("session %s frame hit shard %s, ring owner is %s", info.ID, got, owner)
+			}
+			if got := resp.Header.Get("X-ASV-Frame"); got != "0" {
+				t.Fatalf("X-ASV-* header not relayed (got %q)", got)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if n := byName[owner].count(info.ID); n != 4 { // create + 3 frames
+			t.Fatalf("owner %s saw %d requests for %s, want 4", owner, n, info.ID)
+		}
+		for name, s := range byName {
+			if name != owner && s.count(info.ID) != 0 {
+				t.Fatalf("non-owner %s saw session %s", name, info.ID)
+			}
+		}
+	}
+	if g.minted.Load() != 20 {
+		t.Fatalf("minted %d ids, want 20", g.minted.Load())
+	}
+}
+
+// TestGatewayClientSuppliedID: a create that already carries an id keeps it
+// (idempotent retries from clients must not fork a second session).
+func TestGatewayClientSuppliedID(t *testing.T) {
+	s0 := newStubShard(t, "solo")
+	_, ts := newTestGateway(t, Config{Shards: []Shard{{Name: "solo", URL: s0.ts.URL}}})
+
+	info := createViaGateway(t, ts.URL, `{"id":"client-chosen","pw":2}`)
+	if info.ID != "client-chosen" {
+		t.Fatalf("gateway replaced the client's id with %q", info.ID)
+	}
+}
+
+// TestGatewayFailover: killing a session's shard reroutes its traffic to
+// the ring's next owner instead of surfacing errors.
+func TestGatewayFailover(t *testing.T) {
+	shards := []*stubShardServer{
+		newStubShard(t, "f0"), newStubShard(t, "f1"), newStubShard(t, "f2"),
+	}
+	cfg := Config{}
+	for _, s := range shards {
+		cfg.Shards = append(cfg.Shards, Shard{Name: s.name, URL: s.ts.URL})
+	}
+	g, ts := newTestGateway(t, cfg)
+
+	info := createViaGateway(t, ts.URL, `{"pw":2}`)
+	owner := g.ring.Owner(info.ID)
+
+	// Kill the owner's listener.
+	for _, s := range shards {
+		if s.name == owner {
+			s.ts.CloseClientConnections()
+			s.ts.Close()
+		}
+	}
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/"+info.ID+"/frames", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("request after shard death: %d: %s", resp.StatusCode, body)
+	}
+	got := resp.Header.Get("X-ASV-Shard")
+	want := g.ring.OwnerAvoiding(info.ID, map[string]bool{owner: true})
+	if got != want {
+		t.Fatalf("failover went to %s, ring's next owner is %s", got, want)
+	}
+	if g.failovers.Load() == 0 {
+		t.Fatal("failover counter did not move")
+	}
+
+	// The shard is now marked down: the next request goes straight to the
+	// failover owner with no extra failover hop.
+	before := g.failovers.Load()
+	resp2, err := http.Post(ts.URL+"/v1/sessions/"+info.ID+"/frames", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp2.Body)
+	resp2.Body.Close()
+	if g.failovers.Load() != before {
+		t.Fatal("gateway retried the dead shard instead of remembering it is down")
+	}
+}
+
+// TestGatewayAllShardsDown: with every shard dead the gateway answers 503,
+// not a hang or a panic.
+func TestGatewayAllShardsDown(t *testing.T) {
+	s0 := newStubShard(t, "dead")
+	_, ts := newTestGateway(t, Config{Shards: []Shard{{Name: "dead", URL: s0.ts.URL}}})
+	s0.ts.CloseClientConnections()
+	s0.ts.Close()
+
+	resp, err := http.Post(ts.URL+"/v1/sessions/whatever/frames", "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("status %d with all shards dead, want 503", resp.StatusCode)
+	}
+}
+
+// TestGatewayHealthProbe: the prober marks a dead shard down (visible in
+// /v1/cluster) and brings it back when it returns.
+func TestGatewayHealthProbe(t *testing.T) {
+	s0 := newStubShard(t, "p0")
+	flaky := &stubShardServer{name: "p1", seen: make(map[string]int)}
+	var up = true
+	var upMu sync.Mutex
+	flaky.ts = httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		upMu.Lock()
+		ok := up
+		upMu.Unlock()
+		if !ok {
+			http.Error(w, "down", http.StatusServiceUnavailable)
+			return
+		}
+		fmt.Fprint(w, `{"status":"ok"}`)
+	}))
+	t.Cleanup(flaky.ts.Close)
+
+	g, ts := newTestGateway(t, Config{
+		Shards: []Shard{
+			{Name: "p0", URL: s0.ts.URL},
+			{Name: "p1", URL: flaky.ts.URL},
+		},
+		HealthInterval: 5 * time.Millisecond,
+		HealthTimeout:  time.Second,
+	})
+
+	shardUp := func(name string) bool {
+		resp, err := http.Get(ts.URL + "/v1/cluster")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var info ClusterInfo
+		if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
+			t.Fatal(err)
+		}
+		for _, s := range info.Shards {
+			if s.Name == name {
+				return s.Up
+			}
+		}
+		t.Fatalf("shard %s missing from cluster info", name)
+		return false
+	}
+
+	waitFor := func(desc string, cond func() bool) {
+		deadline := time.Now().Add(5 * time.Second)
+		for !cond() {
+			if time.Now().After(deadline) {
+				t.Fatalf("timed out waiting for %s", desc)
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+
+	waitFor("initial probes to pass", func() bool { return shardUp("p0") && shardUp("p1") })
+
+	upMu.Lock()
+	up = false
+	upMu.Unlock()
+	waitFor("p1 to be marked down", func() bool { return !shardUp("p1") })
+	if g.probeDowns.Load() == 0 {
+		t.Fatal("probe-down counter did not move")
+	}
+
+	upMu.Lock()
+	up = true
+	upMu.Unlock()
+	waitFor("p1 to recover", func() bool { return shardUp("p1") })
+}
+
+// TestGatewayDrainMigratesSessions runs the full drain protocol against
+// REAL serve shards: sessions created through the gateway, frames pushed,
+// one shard drained, and the migrated sessions must continue their streams
+// on their new shards with frame indices intact.
+func TestGatewayDrainMigratesSessions(t *testing.T) {
+	type realShard struct {
+		name string
+		srv  *serve.Server
+		ts   *httptest.Server
+	}
+	mkShard := func(name string) realShard {
+		cfg := serve.DefaultConfig()
+		cfg.Workers = 1
+		opt := stereo.DefaultBMOptions()
+		opt.MaxDisp = 12
+		s := serve.New(core.BMMatcher{Opt: opt}, cfg)
+		ts := httptest.NewServer(s.Handler())
+		t.Cleanup(func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			s.Close(ctx)
+		})
+		return realShard{name: name, srv: s, ts: ts}
+	}
+	shards := []realShard{mkShard("r0"), mkShard("r1"), mkShard("r2")}
+	// A fast prober makes this test also cover drain stickiness: the
+	// drained shard stays alive and health-checks green, but the prober
+	// must NOT resurrect it into routing — its sessions are gone.
+	cfg := Config{HealthInterval: 10 * time.Millisecond}
+	for _, s := range shards {
+		cfg.Shards = append(cfg.Shards, Shard{Name: s.name, URL: s.ts.URL})
+	}
+	g, ts := newTestGateway(t, cfg)
+
+	// Spread a handful of sessions over the cluster and advance each one.
+	const nSessions = 6
+	ids := make([]string, nSessions)
+	for i := range ids {
+		info := createViaGateway(t, ts.URL,
+			`{"pw":2,"preset":"sceneflow","w":32,"h":24,"frames":6,"seed":42}`)
+		ids[i] = info.ID
+		for f := 0; f < 2; f++ {
+			resp, err := http.Post(ts.URL+"/v1/sessions/"+info.ID+"/frames", "", nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusOK {
+				t.Fatalf("priming frame: %d", resp.StatusCode)
+			}
+		}
+	}
+
+	// Drain the shard that owns at least one session.
+	victim := g.ring.Owner(ids[0])
+	resp, err := http.Post(ts.URL+"/v1/cluster/drain/"+victim, "", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep DrainReport
+	if err := json.NewDecoder(resp.Body).Decode(&rep); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("drain: %d", resp.StatusCode)
+	}
+	if len(rep.Failed) > 0 {
+		t.Fatalf("drain failures: %v", rep.Failed)
+	}
+	if len(rep.Migrated) == 0 {
+		t.Fatal("drain migrated nothing although the victim owned sessions")
+	}
+
+	// Give the prober time to observe the drained-but-healthy shard; the
+	// administrative mark must survive it.
+	time.Sleep(50 * time.Millisecond)
+
+	// Every session — migrated or not — continues at frame 2 with no gap.
+	for _, id := range ids {
+		resp, err := http.Post(ts.URL+"/v1/sessions/"+id+"/frames", "", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("post-drain frame for %s: %d: %s", id, resp.StatusCode, body)
+		}
+		var fr serve.FrameResponse
+		if err := json.Unmarshal(body, &fr); err != nil {
+			t.Fatal(err)
+		}
+		if fr.Frame != 2 {
+			t.Fatalf("session %s resumed at frame %d after drain, want 2", id, fr.Frame)
+		}
+	}
+
+	// The drained shard should hold no sessions the ring still routes to it
+	// for — and new creates must avoid it.
+	info := createViaGateway(t, ts.URL, `{"pw":2,"preset":"sceneflow","w":32,"h":24,"frames":4}`)
+	if owner := g.ring.OwnerAvoiding(info.ID, g.unavailable()); owner == victim {
+		t.Fatalf("new session placed on the drained shard %s", victim)
+	}
+
+	// /v1/cluster reports the victim drained and not routable.
+	resp, err = http.Get(ts.URL + "/v1/cluster")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ci ClusterInfo
+	if err := json.NewDecoder(resp.Body).Decode(&ci); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	for _, s := range ci.Shards {
+		if s.Name == victim && (s.Up || !s.Drained) {
+			t.Fatalf("drained shard reported routable: %+v", s)
+		}
+		if s.Name != victim && !s.Up {
+			t.Fatalf("healthy shard reported down: %+v", s)
+		}
+	}
+}
+
+func TestGatewayRejectsBadConfigs(t *testing.T) {
+	if _, err := New(Config{}); err == nil {
+		t.Fatal("no error for empty shard list")
+	}
+	if _, err := New(Config{Shards: []Shard{{Name: "a", URL: ""}}}); err == nil {
+		t.Fatal("no error for missing url")
+	}
+	if _, err := New(Config{Shards: []Shard{
+		{Name: "a", URL: "http://x"}, {Name: "a", URL: "http://y"},
+	}}); err == nil {
+		t.Fatal("no error for duplicate name")
+	}
+}

@@ -170,7 +170,23 @@ func (b *batcher) flush(ready *[]*session, pending map[*session][]*workItem, bus
 		}
 		busy[sess] = true
 		it.started = time.Now()
-		b.work <- it
+		// Dispatch without ever refusing completion notices: with fewer
+		// workers than the round is wide, a plain send here deadlocks — every
+		// worker blocks handing in b.done (capacity Workers) while flush
+		// blocks handing out b.work. Draining b.done while waiting keeps the
+		// workers' hand-in path clear no matter the worker/batch ratio.
+	dispatch:
+		for {
+			select {
+			case b.work <- it:
+				break dispatch
+			case finished := <-b.done:
+				delete(busy, finished)
+				if len(pending[finished]) > 0 {
+					*ready = append(*ready, finished)
+				}
+			}
+		}
 	}
 }
 
@@ -205,14 +221,39 @@ func (b *batcher) process(it *workItem) {
 		}
 	}()
 
+	checkpoint := b.runFrame(it, &rep)
+	if rep.err != nil {
+		it.reply <- rep
+		return
+	}
+	// The checkpoint is encoded inside the run lock (consistent state),
+	// written here outside it, and only then is the reply sent: when the
+	// cadence is every frame, a client that has seen frame N's reply is
+	// guaranteed the spill store holds frame N's state — the invariant the
+	// chaos recovery path depends on.
+	if checkpoint != nil {
+		b.s.writeSnapshotFile(it.sess.id, checkpoint)
+	}
+	it.reply <- rep
+}
+
+// runFrame executes the ISM step under the session's run lock, which
+// serializes the state mutation against snapshot encoding. Workers never
+// contend on it (the batcher dispatches at most one frame per session), so
+// in the steady state it is uncontended. The deferred unlock also covers
+// kernel panics, which process turns into a 500. Returns the encoded
+// checkpoint when one is due.
+func (b *batcher) runFrame(it *workItem, rep *frameReply) (checkpoint []byte) {
+	it.sess.runMu.Lock()
+	defer it.sess.runMu.Unlock()
+
 	left, right := it.left, it.right
 	if left == nil {
 		left, right = it.sess.preset.frame()
 	}
 	if err := it.sess.checkGeometry(left, right); err != nil {
 		rep.err = badFrameError{err}
-		it.reply <- rep
-		return
+		return nil
 	}
 
 	t0 := time.Now()
@@ -225,7 +266,11 @@ func (b *batcher) process(it *workItem) {
 	}
 	rep.stats = stereo.DisparityStats(res.Disparity)
 	it.sess.touch()
-	it.reply <- rep
+
+	if n := b.s.cfg.CheckpointEvery; n > 0 && b.s.cfg.SpillDir != "" && (rep.frame+1)%n == 0 {
+		checkpoint = EncodeSnapshot(b.s.snapshotLocked(it.sess))
+	}
+	return checkpoint
 }
 
 // badFrameError marks client-caused frame failures (geometry mismatch) so

@@ -8,6 +8,7 @@ import (
 	"mime/multipart"
 	"net/http"
 	"sort"
+	"strconv"
 	"sync"
 	"time"
 
@@ -17,8 +18,9 @@ import (
 
 // Load generation: replay synthetic stereo streams against a live server at
 // a target aggregate QPS and report latency percentiles. cmd/asvload wraps
-// this for the command line; asvbench -exp serve runs it in-process against
-// a freshly started server to produce BENCH_serve.json.
+// this for the command line (including cluster mode, which fans the same
+// workload out over several endpoints and reports aggregate percentiles);
+// asvbench -exp serve runs it in-process to produce BENCH_serve.json.
 
 // LoadConfig parameterizes one load run.
 type LoadConfig struct {
@@ -35,6 +37,20 @@ type LoadConfig struct {
 	// server-side preset sessions — exercises the decode path at the price
 	// of client-side encoding.
 	Upload bool `json:"upload"`
+	// IDs optionally pins the session ids this run creates (session i gets
+	// IDs[i]; extra sessions fall back to server-minted ids). The multi-shard
+	// bench uses this to pre-balance sessions across a gateway's hash ring so
+	// the measured scaling is deterministic rather than at the mercy of a
+	// random id split. Ids must satisfy the server's [A-Za-z0-9._-] rule.
+	IDs []string `json:"-"`
+	// Retry429 is how many times a 429'd frame is retried (after honoring
+	// the Retry-After hint) before it is abandoned. Zero keeps the default;
+	// negative disables retries.
+	Retry429 int `json:"retry_429"`
+	// Max429Wait caps the per-retry sleep taken from the server's
+	// Retry-After header, so a smoke run against a saturated server is not
+	// dominated by sleeping. Zero keeps the default.
+	Max429Wait time.Duration `json:"-"`
 	// Timeout bounds each HTTP request.
 	Timeout time.Duration `json:"-"`
 }
@@ -61,6 +77,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.Seed == 0 {
 		c.Seed = 7
 	}
+	if c.Retry429 == 0 {
+		c.Retry429 = 3
+	}
+	if c.Max429Wait <= 0 {
+		c.Max429Wait = 50 * time.Millisecond
+	}
 	if c.Timeout <= 0 {
 		c.Timeout = 30 * time.Second
 	}
@@ -73,17 +95,106 @@ type LoadReport struct {
 	Requests   int     `json:"requests"`
 	OK         int     `json:"ok"`
 	Rejected   int     `json:"rejected_429"`
-	Status4xx  int     `json:"status_4xx"` // non-429 client errors
+	Retries    int     `json:"retries_429"` // 429s that were retried (⊆ Rejected)
+	Dropped    int     `json:"dropped"`     // frames abandoned after exhausting retries
+	Status4xx  int     `json:"status_4xx"`  // non-429 client errors
 	Status5xx  int     `json:"status_5xx"`
 	Transport  int     `json:"transport_errors"`
 	KeyFrames  int     `json:"key_frames"`
 	NonKey     int     `json:"non_key_frames"`
 	DurationMs float64 `json:"duration_ms"`
 	AchievedTP float64 `json:"achieved_rps"` // completed requests / duration
+	OKRps      float64 `json:"ok_rps"`       // successful frames / duration
 	P50Ms      float64 `json:"p50_ms"`
 	P95Ms      float64 `json:"p95_ms"`
 	P99Ms      float64 `json:"p99_ms"`
 	MaxMs      float64 `json:"max_ms"`
+}
+
+// ClusterLoadReport is a cluster-mode run: one LoadReport per endpoint plus
+// an aggregate whose percentiles are computed over the merged sample set
+// (not averaged per-target percentiles, which would understate the tail).
+type ClusterLoadReport struct {
+	Aggregate LoadReport            `json:"aggregate"`
+	Targets   map[string]LoadReport `json:"targets"`
+}
+
+// collector tallies request outcomes and latency samples across the session
+// goroutines of one run.
+type collector struct {
+	mu      sync.Mutex
+	rep     LoadReport
+	samples []float64 // latency ms of OK requests, unsorted until finish
+}
+
+func (c *collector) record(status int, d time.Duration, isKey bool, transportErr bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rep.Requests++
+	switch {
+	case transportErr:
+		c.rep.Transport++
+	case status == http.StatusOK:
+		c.rep.OK++
+		c.samples = append(c.samples, float64(d)/1e6)
+		if isKey {
+			c.rep.KeyFrames++
+		} else {
+			c.rep.NonKey++
+		}
+	case status == http.StatusTooManyRequests:
+		c.rep.Rejected++
+	case status >= 500:
+		c.rep.Status5xx++
+	default:
+		c.rep.Status4xx++
+	}
+}
+
+func (c *collector) retried() {
+	c.mu.Lock()
+	c.rep.Retries++
+	c.mu.Unlock()
+}
+
+func (c *collector) dropped() {
+	c.mu.Lock()
+	c.rep.Dropped++
+	c.mu.Unlock()
+}
+
+// finish stamps duration-derived rates and percentiles and returns the
+// report plus the raw samples (for cluster-level aggregation).
+func (c *collector) finish(elapsed time.Duration) (LoadReport, []float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.rep.DurationMs = float64(elapsed) / 1e6
+	if c.rep.DurationMs > 0 {
+		c.rep.AchievedTP = float64(c.rep.Requests) / (c.rep.DurationMs / 1e3)
+		c.rep.OKRps = float64(c.rep.OK) / (c.rep.DurationMs / 1e3)
+	}
+	setPercentiles(&c.rep, c.samples)
+	return c.rep, c.samples
+}
+
+// setPercentiles fills rep's latency fields from samples (sorted in place).
+func setPercentiles(rep *LoadReport, samples []float64) {
+	n := len(samples)
+	if n == 0 {
+		return
+	}
+	sort.Float64s(samples)
+	pct := func(q float64) float64 {
+		idx := int(q*float64(n)) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return samples[idx]
+	}
+	rep.P50Ms = pct(0.50)
+	rep.P95Ms = pct(0.95)
+	rep.P99Ms = pct(0.99)
+	rep.MaxMs = samples[n-1]
 }
 
 // RunLoad drives the server at cfg.BaseURL. Each session goroutine submits
@@ -92,6 +203,75 @@ type LoadReport struct {
 // prevents the run from even starting (e.g. session creation refused) is
 // returned; per-request failures are tallied in the report instead.
 func RunLoad(cfg LoadConfig) (LoadReport, error) {
+	rep, _, err := runLoad(cfg)
+	return rep, err
+}
+
+// RunLoadCluster runs the same workload against every target concurrently —
+// each target gets cfg.Sessions sessions and its own pacer — and merges the
+// results. Aggregate percentiles come from the union of all latency
+// samples, so the cluster p99 reflects the true tail across shards. A
+// target that cannot even start (session creation refused) fails the whole
+// run: a half-missing cluster would silently report inflated throughput.
+func RunLoadCluster(cfg LoadConfig, targets []string) (ClusterLoadReport, error) {
+	if len(targets) == 0 {
+		return ClusterLoadReport{}, fmt.Errorf("cluster load: no targets")
+	}
+	type result struct {
+		target  string
+		rep     LoadReport
+		samples []float64
+		err     error
+	}
+	results := make([]result, len(targets))
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i, target := range targets {
+		wg.Add(1)
+		go func(i int, target string) {
+			defer wg.Done()
+			c := cfg
+			c.BaseURL = target
+			// Decorrelate the synthetic content across targets so every
+			// shard is not matching the identical frames.
+			c.Seed = cfg.Seed + int64(i)*1000
+			rep, samples, err := runLoad(c)
+			results[i] = result{target: target, rep: rep, samples: samples, err: err}
+		}(i, target)
+	}
+	wg.Wait()
+	elapsed := time.Since(t0)
+
+	out := ClusterLoadReport{Targets: make(map[string]LoadReport, len(targets))}
+	var all []float64
+	for _, r := range results {
+		if r.err != nil {
+			return ClusterLoadReport{}, fmt.Errorf("target %s: %w", r.target, r.err)
+		}
+		out.Targets[r.target] = r.rep
+		agg := &out.Aggregate
+		agg.Requests += r.rep.Requests
+		agg.OK += r.rep.OK
+		agg.Rejected += r.rep.Rejected
+		agg.Retries += r.rep.Retries
+		agg.Dropped += r.rep.Dropped
+		agg.Status4xx += r.rep.Status4xx
+		agg.Status5xx += r.rep.Status5xx
+		agg.Transport += r.rep.Transport
+		agg.KeyFrames += r.rep.KeyFrames
+		agg.NonKey += r.rep.NonKey
+		all = append(all, r.samples...)
+	}
+	out.Aggregate.DurationMs = float64(elapsed) / 1e6
+	if out.Aggregate.DurationMs > 0 {
+		out.Aggregate.AchievedTP = float64(out.Aggregate.Requests) / (out.Aggregate.DurationMs / 1e3)
+		out.Aggregate.OKRps = float64(out.Aggregate.OK) / (out.Aggregate.DurationMs / 1e3)
+	}
+	setPercentiles(&out.Aggregate, all)
+	return out, nil
+}
+
+func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 	cfg = cfg.withDefaults()
 	client := &http.Client{Timeout: cfg.Timeout}
 
@@ -103,7 +283,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		for i := range uploads {
 			frames, err := encodeFrames(cfg, cfg.Seed+int64(i))
 			if err != nil {
-				return LoadReport{}, fmt.Errorf("encoding upload frames: %w", err)
+				return LoadReport{}, nil, fmt.Errorf("encoding upload frames: %w", err)
 			}
 			uploads[i] = frames
 		}
@@ -113,7 +293,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	for i := range ids {
 		id, err := createSession(client, cfg, i)
 		if err != nil {
-			return LoadReport{}, err
+			return LoadReport{}, nil, err
 		}
 		ids[i] = id
 	}
@@ -140,38 +320,7 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		}()
 	}
 
-	type sample struct {
-		ms    float64
-		isKey bool
-	}
-	var mu sync.Mutex
-	var samples []sample
-	rep := LoadReport{}
-
-	record := func(status int, d time.Duration, isKey bool, transportErr bool) {
-		mu.Lock()
-		defer mu.Unlock()
-		rep.Requests++
-		switch {
-		case transportErr:
-			rep.Transport++
-		case status == http.StatusOK:
-			rep.OK++
-			samples = append(samples, sample{float64(d) / 1e6, isKey})
-			if isKey {
-				rep.KeyFrames++
-			} else {
-				rep.NonKey++
-			}
-		case status == http.StatusTooManyRequests:
-			rep.Rejected++
-		case status >= 500:
-			rep.Status5xx++
-		default:
-			rep.Status4xx++
-		}
-	}
-
+	col := &collector{}
 	t0 := time.Now()
 	var wg sync.WaitGroup
 	for i := 0; i < cfg.Sessions; i++ {
@@ -179,27 +328,42 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 		go func(i int) {
 			defer wg.Done()
 			for f := 0; f < cfg.Frames; f++ {
-				if cfg.QPS > 0 {
-					<-tokens
-				}
-				var body io.Reader
-				contentType := ""
-				if cfg.Upload {
-					p := uploads[i][f%len(uploads[i])]
-					body = bytes.NewReader(p.body)
-					contentType = p.contentType
-				}
-				tReq := time.Now()
-				status, isKey, err := submitFrame(client, cfg.BaseURL, ids[i], body, contentType)
-				if err != nil {
-					record(0, 0, false, true)
-					continue
-				}
-				record(status, time.Since(tReq), isKey, false)
-				if status == http.StatusTooManyRequests {
-					// Honor the backpressure hint, scaled down so a smoke
-					// run is not dominated by sleeps.
-					time.Sleep(20 * time.Millisecond)
+				// A frame is attempted up to 1+Retry429 times: a 429 is
+				// real backpressure, but a camera client does not drop a
+				// frame on the floor the moment the queue blips.
+				for attempt := 0; ; attempt++ {
+					if cfg.QPS > 0 {
+						<-tokens
+					}
+					var body io.Reader
+					contentType := ""
+					if cfg.Upload {
+						p := uploads[i][f%len(uploads[i])]
+						body = bytes.NewReader(p.body)
+						contentType = p.contentType
+					}
+					tReq := time.Now()
+					status, isKey, retryAfter, err := submitFrame(client, cfg.BaseURL, ids[i], body, contentType)
+					if err != nil {
+						col.record(0, 0, false, true)
+						break
+					}
+					col.record(status, time.Since(tReq), isKey, false)
+					if status != http.StatusTooManyRequests {
+						break
+					}
+					if attempt >= cfg.Retry429 {
+						col.dropped()
+						break
+					}
+					col.retried()
+					// Honor the server's Retry-After hint, capped so a
+					// saturated smoke run is not dominated by sleeping.
+					wait := retryAfter
+					if wait <= 0 || wait > cfg.Max429Wait {
+						wait = cfg.Max429Wait
+					}
+					time.Sleep(wait)
 				}
 			}
 		}(i)
@@ -207,34 +371,17 @@ func RunLoad(cfg LoadConfig) (LoadReport, error) {
 	wg.Wait()
 	close(stopPacer)
 
-	rep.DurationMs = float64(time.Since(t0)) / 1e6
-	if rep.DurationMs > 0 {
-		rep.AchievedTP = float64(rep.Requests) / (rep.DurationMs / 1e3)
-	}
-	sort.Slice(samples, func(a, b int) bool { return samples[a].ms < samples[b].ms })
-	if n := len(samples); n > 0 {
-		pct := func(q float64) float64 {
-			idx := int(q*float64(n)) - 1
-			if idx < 0 {
-				idx = 0
-			}
-			if idx >= n {
-				idx = n - 1
-			}
-			return samples[idx].ms
-		}
-		rep.P50Ms = pct(0.50)
-		rep.P95Ms = pct(0.95)
-		rep.P99Ms = pct(0.99)
-		rep.MaxMs = samples[n-1].ms
-	}
-	return rep, nil
+	rep, samples := col.finish(time.Since(t0))
+	return rep, samples, nil
 }
 
 // createSession opens one serving session; preset mode asks the server to
 // synthesize frames, upload mode leaves the session empty.
 func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
 	req := CreateSessionRequest{PW: cfg.PW}
+	if i < len(cfg.IDs) {
+		req.ID = cfg.IDs[i]
+	}
 	if !cfg.Upload {
 		req.Preset = cfg.Preset
 		req.W, req.H = cfg.W, cfg.H
@@ -260,37 +407,49 @@ func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
 	if err := json.NewDecoder(resp.Body).Decode(&info); err != nil {
 		return "", fmt.Errorf("decoding session info: %w", err)
 	}
+	//asvlint:ignore droppederr best-effort drain so the connection can be reused
+	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
 	return info.ID, nil
 }
 
-// submitFrame posts one frame and parses just enough of the reply.
-func submitFrame(client *http.Client, baseURL, id string, body io.Reader, contentType string) (status int, isKey bool, err error) {
+// submitFrame posts one frame and parses just enough of the reply. The body
+// is always fully drained and closed — on the decode-failure and non-200
+// paths too — so the client's connection pool actually gets reuse instead
+// of leaking a connection per error.
+func submitFrame(client *http.Client, baseURL, id string, body io.Reader, contentType string) (status int, isKey bool, retryAfter time.Duration, err error) {
 	if body == nil {
 		body = bytes.NewReader(nil)
 	}
 	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions/"+id+"/frames", body)
 	if err != nil {
-		return 0, false, err
+		return 0, false, 0, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, err
+		return 0, false, 0, err
 	}
-	//asvlint:ignore droppederr response body close error is not actionable in a load generator
-	defer resp.Body.Close()
+	defer func() {
+		//asvlint:ignore droppederr best-effort drain so the connection can be reused
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		//asvlint:ignore droppederr response body close error is not actionable in a load generator
+		resp.Body.Close()
+	}()
 	if resp.StatusCode == http.StatusOK {
 		var fr FrameResponse
 		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
-			return resp.StatusCode, false, nil // count as OK; stats only lose key split
+			return resp.StatusCode, false, 0, nil // count as OK; stats only lose key split
 		}
-		return resp.StatusCode, fr.IsKey, nil
+		return resp.StatusCode, fr.IsKey, 0, nil
 	}
-	//asvlint:ignore droppederr best-effort drain so the connection can be reused
-	io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
-	return resp.StatusCode, false, nil
+	if resp.StatusCode == http.StatusTooManyRequests {
+		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
+			retryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return resp.StatusCode, false, retryAfter, nil
 }
 
 // framePayload is one pre-encoded multipart upload body.

@@ -1,0 +1,209 @@
+package serve
+
+import (
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// stubShard is a minimal fake of the serving API for loadgen unit tests:
+// it creates sessions instantly and lets the test script per-request
+// status behavior without paying for real stereo matching.
+type stubShard struct {
+	mu       sync.Mutex
+	nextID   int
+	frameSeq atomic.Int64
+	// respond decides each frame submission's status code given the
+	// 1-based global submission number.
+	respond func(n int64) int
+}
+
+func (s *stubShard) handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sessions", func(w http.ResponseWriter, r *http.Request) {
+		s.mu.Lock()
+		s.nextID++
+		id := fmt.Sprintf("stub%04d", s.nextID)
+		s.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusCreated)
+		fmt.Fprintf(w, `{"id":%q,"pw":2}`, id)
+	})
+	mux.HandleFunc("POST /v1/sessions/{id}/frames", func(w http.ResponseWriter, r *http.Request) {
+		n := s.frameSeq.Add(1)
+		status := http.StatusOK
+		if s.respond != nil {
+			status = s.respond(n)
+		}
+		switch status {
+		case http.StatusOK:
+			w.Header().Set("Content-Type", "application/json")
+			fmt.Fprintf(w, `{"session":%q,"frame":%d,"is_key":%v}`, r.PathValue("id"), n, n%2 == 1)
+		case http.StatusTooManyRequests:
+			// An aggressively long hint: the client must cap it, not
+			// sleep a full second per retry.
+			w.Header().Set("Retry-After", "1")
+			http.Error(w, `{"error":"queue full"}`, status)
+		default:
+			http.Error(w, `{"error":"stub"}`, status)
+		}
+	})
+	return mux
+}
+
+// TestRunLoadRetriesAfter429 scripts one 429 per session before letting
+// frames through: every frame must eventually succeed via the retry path,
+// with the Retry-After hint honored but capped.
+func TestRunLoadRetriesAfter429(t *testing.T) {
+	const sessions, frames = 3, 4
+	var rejected atomic.Int64
+	stub := &stubShard{}
+	perSession := make(map[string]bool)
+	var mu sync.Mutex
+	stub.respond = func(n int64) int { return http.StatusOK }
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		// Reject the FIRST frame submission of each session once.
+		if strings.HasSuffix(r.URL.Path, "/frames") {
+			parts := strings.Split(r.URL.Path, "/")
+			id := parts[len(parts)-2]
+			mu.Lock()
+			first := !perSession[id]
+			perSession[id] = true
+			mu.Unlock()
+			if first {
+				rejected.Add(1)
+				w.Header().Set("Retry-After", "1")
+				http.Error(w, `{"error":"queue full"}`, http.StatusTooManyRequests)
+				return
+			}
+		}
+		stub.handler().ServeHTTP(w, r)
+	}))
+	defer ts.Close()
+
+	t0 := time.Now()
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: ts.URL, Sessions: sessions, Frames: frames,
+		Max429Wait: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != sessions*frames {
+		t.Fatalf("OK=%d, want %d (a 429'd frame was dropped instead of retried)", rep.OK, sessions*frames)
+	}
+	if rep.Rejected != sessions || rep.Retries != sessions {
+		t.Fatalf("Rejected=%d Retries=%d, want %d each", rep.Rejected, rep.Retries, sessions)
+	}
+	if rep.Dropped != 0 {
+		t.Fatalf("Dropped=%d, want 0", rep.Dropped)
+	}
+	if rep.Requests != sessions*frames+sessions {
+		t.Fatalf("Requests=%d, want %d", rep.Requests, sessions*frames+sessions)
+	}
+	// Retry-After said 1s per retry; the cap must have kept the whole run
+	// far under sessions×1s.
+	if elapsed := time.Since(t0); elapsed > 2*time.Second {
+		t.Fatalf("run took %v; Retry-After cap not applied", elapsed)
+	}
+	if rep.OKRps <= 0 {
+		t.Fatalf("OKRps=%g, want > 0", rep.OKRps)
+	}
+}
+
+// TestRunLoadDropsAfterRetryBudget: a server that never stops 429ing makes
+// the client abandon each frame after exactly Retry429 retries.
+func TestRunLoadDropsAfterRetryBudget(t *testing.T) {
+	const sessions, frames, retries = 2, 3, 2
+	stub := &stubShard{respond: func(n int64) int { return http.StatusTooManyRequests }}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: ts.URL, Sessions: sessions, Frames: frames,
+		Retry429: retries, Max429Wait: time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 0 {
+		t.Fatalf("OK=%d against an always-429 server", rep.OK)
+	}
+	if want := sessions * frames; rep.Dropped != want {
+		t.Fatalf("Dropped=%d, want %d", rep.Dropped, want)
+	}
+	if want := sessions * frames * (1 + retries); rep.Requests != want {
+		t.Fatalf("Requests=%d, want %d (each frame attempted 1+%d times)", rep.Requests, want, retries)
+	}
+	if want := sessions * frames * retries; rep.Retries != want {
+		t.Fatalf("Retries=%d, want %d", rep.Retries, want)
+	}
+}
+
+// TestRunLoadCountsErrorClasses checks the 4xx/5xx tallies against a stub
+// cycling through statuses.
+func TestRunLoadCountsErrorClasses(t *testing.T) {
+	stub := &stubShard{respond: func(n int64) int {
+		switch n % 3 {
+		case 1:
+			return http.StatusOK
+		case 2:
+			return http.StatusUnprocessableEntity
+		default:
+			return http.StatusInternalServerError
+		}
+	}}
+	ts := httptest.NewServer(stub.handler())
+	defer ts.Close()
+
+	rep, err := RunLoad(LoadConfig{BaseURL: ts.URL, Sessions: 1, Frames: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 3 || rep.Status4xx != 3 || rep.Status5xx != 3 {
+		t.Fatalf("OK/4xx/5xx = %d/%d/%d, want 3/3/3", rep.OK, rep.Status4xx, rep.Status5xx)
+	}
+}
+
+// TestRunLoadCluster fans the workload over two stub endpoints and checks
+// the aggregate is the sum of the per-target reports.
+func TestRunLoadCluster(t *testing.T) {
+	const sessions, frames = 2, 3
+	mk := func() *httptest.Server { return httptest.NewServer((&stubShard{}).handler()) }
+	ts1, ts2 := mk(), mk()
+	defer ts1.Close()
+	defer ts2.Close()
+
+	rep, err := RunLoadCluster(LoadConfig{Sessions: sessions, Frames: frames}, []string{ts1.URL, ts2.URL})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Targets) != 2 {
+		t.Fatalf("Targets has %d entries, want 2", len(rep.Targets))
+	}
+	if want := 2 * sessions * frames; rep.Aggregate.OK != want {
+		t.Fatalf("aggregate OK=%d, want %d", rep.Aggregate.OK, want)
+	}
+	sum := 0
+	for _, tr := range rep.Targets {
+		sum += tr.OK
+	}
+	if sum != rep.Aggregate.OK {
+		t.Fatalf("per-target OK sums to %d, aggregate says %d", sum, rep.Aggregate.OK)
+	}
+	if rep.Aggregate.P99Ms <= 0 || rep.Aggregate.MaxMs < rep.Aggregate.P50Ms {
+		t.Fatalf("aggregate percentiles look wrong: %+v", rep.Aggregate)
+	}
+
+	// A dead target fails the run rather than silently halving it.
+	dead := httptest.NewServer(http.NotFoundHandler())
+	dead.Close()
+	if _, err := RunLoadCluster(LoadConfig{Sessions: 1, Frames: 1}, []string{ts1.URL, dead.URL}); err == nil {
+		t.Fatal("cluster run with a dead target reported no error")
+	}
+}

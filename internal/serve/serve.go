@@ -30,6 +30,7 @@ import (
 	"net"
 	"net/http"
 	"net/http/pprof"
+	"os"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -88,6 +89,16 @@ type Config struct {
 	// of the CostBackend estimate. Zero restricts the estimate to the pure
 	// DNN cost even on ISM-capable backends.
 	CostNonKey backend.NonKeyCost
+	// SpillDir, when set, turns eviction into spill: cold sessions evicted
+	// by TTL or LRU pressure are serialized to <SpillDir>/<id>.asvsnap and
+	// transparently restored on their next use. Pointing the shards of a
+	// cluster at a shared directory also gives them crash recovery: a peer
+	// adopting a dead shard's session restores it from the same store.
+	SpillDir string
+	// CheckpointEvery, when positive (and SpillDir is set), additionally
+	// writes a session's snapshot to the spill store every N completed
+	// frames, bounding how much stream state a shard crash can lose.
+	CheckpointEvery int
 }
 
 // DefaultConfig returns a serving configuration sized for a small host.
@@ -184,6 +195,20 @@ type Server struct {
 	batchedFrames atomic.Int64
 	maxBatch      atomic.Int64
 
+	// Snapshot/spill counters: snapshots served over HTTP, sessions
+	// installed via PUT snapshot, sessions spilled to and restored from the
+	// disk store, checkpoint writes, and spill-store I/O or decode failures.
+	snapshotsServed   atomic.Int64
+	snapshotsRestored atomic.Int64
+	spilled           atomic.Int64
+	diskRestores      atomic.Int64
+	checkpoints       atomic.Int64
+	spillErrors       atomic.Int64
+
+	// restoreMu serializes disk restores so two concurrent misses on the
+	// same id materialize one session, not two racing copies.
+	restoreMu sync.Mutex
+
 	// inflight is the admission gauge: frames admitted but not yet
 	// finished. The batcher drains the admit channel eagerly (it must, to
 	// batch across sessions), so the backpressure bound lives here, not in
@@ -240,6 +265,18 @@ func (s *Server) Start(addr string) (net.Addr, error) {
 	return ln.Addr(), nil
 }
 
+// Kill abruptly closes the listener and every active connection, without
+// draining: in-flight requests see their connections die and queued frames
+// lose their clients. It exists to emulate a shard crash — the cluster
+// chaos tests use it to prove that peers can adopt a dead shard's sessions
+// from the shared spill store. Call Close afterwards to stop the workers.
+func (s *Server) Kill() error {
+	if s.httpSrv == nil {
+		return nil
+	}
+	return s.httpSrv.Close()
+}
+
 // Close drains the server: new frames are refused with 503, every admitted
 // frame is processed to completion, then the batcher and workers stop. The
 // context bounds how long to wait for the HTTP layer to quiesce.
@@ -278,7 +315,9 @@ func (s *Server) janitor() {
 		case <-s.janitorStop:
 			return
 		case <-t.C:
-			s.tab.expire(s.cfg.SessionTTL)
+			for _, sess := range s.tab.expire(s.cfg.SessionTTL) {
+				s.spill(sess)
+			}
 		}
 	}
 }
@@ -287,9 +326,12 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/sessions", s.handleCreateSession)
+	s.mux.HandleFunc("GET /v1/sessions", s.handleListSessions)
 	s.mux.HandleFunc("GET /v1/sessions/{id}", s.handleGetSession)
 	s.mux.HandleFunc("DELETE /v1/sessions/{id}", s.handleDeleteSession)
 	s.mux.HandleFunc("POST /v1/sessions/{id}/frames", s.handleSubmitFrame)
+	s.mux.HandleFunc("GET /v1/sessions/{id}/snapshot", s.handleGetSnapshot)
+	s.mux.HandleFunc("PUT /v1/sessions/{id}/snapshot", s.handlePutSnapshot)
 	if s.cfg.EnablePprof {
 		s.mux.HandleFunc("/debug/pprof/", pprof.Index)
 		s.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -304,7 +346,11 @@ func (s *Server) routes() {
 // CreateSessionRequest is the body of POST /v1/sessions. All fields are
 // optional; a preset session synthesizes its own frames server-side.
 type CreateSessionRequest struct {
-	PW int `json:"pw,omitempty"`
+	// ID requests a specific session id (1-64 chars of [A-Za-z0-9_-]).
+	// Empty lets the server mint one. The cluster gateway always sets it:
+	// consistent hashing needs the id before the shard is chosen.
+	ID string `json:"id,omitempty"`
+	PW int    `json:"pw,omitempty"`
 	// Preset selects a synthetic source: "sceneflow" or "kitti". Empty
 	// means the client uploads frames.
 	Preset string `json:"preset,omitempty"`
@@ -429,6 +475,12 @@ func (s *Server) CountersSnapshot() map[string]any {
 		"batch_frames":      s.batchedFrames.Load(),
 		"batch_mean_frames": round2(meanBatch),
 		"batch_max_frames":  s.maxBatch.Load(),
+		"snapshots_served":  s.snapshotsServed.Load(),
+		"snapshots_put":     s.snapshotsRestored.Load(),
+		"sessions_spilled":  s.spilled.Load(),
+		"disk_restores":     s.diskRestores.Load(),
+		"checkpoints":       s.checkpoints.Load(),
+		"spill_errors":      s.spillErrors.Load(),
 	}
 }
 
@@ -459,12 +511,28 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, fmt.Sprintf("pw %d out of range [1,64]", pw))
 		return
 	}
+	id := req.ID
+	if id == "" {
+		id = NewSessionID()
+	} else {
+		// Client-chosen ids exist for the cluster gateway, which must mint
+		// the id before placing the session on a shard (the consistent-hash
+		// ring maps ids to shards). They share the random ids' namespace.
+		if !validSessionID(id) {
+			writeError(w, http.StatusBadRequest, "invalid session id (want 1-64 chars of [A-Za-z0-9_-])")
+			return
+		}
+		if s.lookup(id) != nil {
+			writeError(w, http.StatusConflict, fmt.Sprintf("session %q already exists", id))
+			return
+		}
+	}
 
 	cfg := s.cfg.Pipeline
 	cfg.PW = pw
 	cfg.Postprocess = req.Postprocess
 	sess := &session{
-		id:      newSessionID(),
+		id:      id,
 		pw:      pw,
 		pipe:    core.New(s.matcher, cfg),
 		created: time.Now(),
@@ -480,7 +548,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		sess.preset = src
 	}
 
-	s.tab.add(sess)
+	s.installSession(sess)
 	writeJSON(w, http.StatusCreated, s.info(sess))
 }
 
@@ -516,7 +584,7 @@ func (s *Server) buildPreset(req CreateSessionRequest) (*presetSource, error) {
 	default:
 		return nil, fmt.Errorf("unknown preset %q (sceneflow|kitti)", req.Preset)
 	}
-	return &presetSource{name: req.Preset, seq: dataset.Generate(cfg)}, nil
+	return &presetSource{name: req.Preset, cfg: cfg, seq: dataset.Generate(cfg)}, nil
 }
 
 func (s *Server) info(sess *session) SessionInfo {
@@ -537,7 +605,7 @@ func (s *Server) info(sess *session) SessionInfo {
 }
 
 func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
-	sess := s.tab.get(r.PathValue("id"))
+	sess := s.lookup(r.PathValue("id"))
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
@@ -546,7 +614,15 @@ func (s *Server) handleGetSession(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleDeleteSession(w http.ResponseWriter, r *http.Request) {
-	if !s.tab.remove(r.PathValue("id")) {
+	id := r.PathValue("id")
+	removed := s.tab.remove(id)
+	if path := s.spillPath(id); path != "" {
+		if _, err := os.Stat(path); err == nil {
+			removed = true
+		}
+		s.dropSpill(id)
+	}
+	if !removed {
 		writeError(w, http.StatusNotFound, "no such session")
 		return
 	}
@@ -562,7 +638,7 @@ func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	sess := s.tab.get(r.PathValue("id"))
+	sess := s.lookup(r.PathValue("id"))
 	if sess == nil {
 		writeError(w, http.StatusNotFound, "no such session")
 		return

@@ -318,8 +318,8 @@ func TestSessionTTLExpiry(t *testing.T) {
 	tab.add(fresh)
 	tab.add(queued)
 
-	if n := tab.expire(time.Minute); n != 1 {
-		t.Fatalf("expired %d sessions, want 1", n)
+	if ev := tab.expire(time.Minute); len(ev) != 1 {
+		t.Fatalf("expired %d sessions, want 1", len(ev))
 	}
 	if tab.get("old") != nil {
 		t.Fatal("idle session survived TTL")
@@ -527,6 +527,46 @@ func TestBatcherCoalescesAcrossSessions(t *testing.T) {
 	}
 	if got := fmt.Sprint(s.CountersSnapshot()["batch_mean_frames"]); got == "0" {
 		t.Fatal("batch_mean_frames not populated")
+	}
+}
+
+// TestBatcherFewerWorkersThanBatch is the regression test for a flush
+// deadlock: with a single worker and a dispatch round wider than the done
+// channel's capacity (== Workers), flush used to block handing out the
+// round's third frame while the worker blocked handing in its completion
+// notice. Eight concurrent sessions against one worker wedged permanently.
+func TestBatcherFewerWorkersThanBatch(t *testing.T) {
+	_, ts := testServer(t, Config{
+		QueueDepth: 32, Workers: 1, BatchSize: 8, BatchWait: time.Millisecond,
+	}, time.Millisecond)
+
+	const sessions, frames = 8, 3
+	var ids []string
+	for i := 0; i < sessions; i++ {
+		info := createPresetSession(t, ts.URL, CreateSessionRequest{
+			Preset: "sceneflow", W: 32, H: 24, Frames: frames, PW: 1, Seed: int64(i + 1),
+		})
+		ids = append(ids, info.ID)
+	}
+
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	for _, id := range ids {
+		wg.Add(1)
+		go func(id string) {
+			defer wg.Done()
+			for f := 0; f < frames; f++ {
+				if status, _ := submit(t, ts.URL, id); status != http.StatusOK {
+					t.Errorf("status %d", status)
+				}
+			}
+		}(id)
+	}
+	go func() { wg.Wait(); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("batcher deadlocked: 8 sessions x 1 worker never completed")
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"crypto/rand"
 	"encoding/hex"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -24,6 +25,13 @@ type session struct {
 	pw      int // 0 when the schedule is adaptive
 	pipe    *core.Pipeline
 	created time.Time
+
+	// runMu serializes pipeline-state access between the worker processing
+	// a frame and the snapshot encoder. The batcher already guarantees at
+	// most one in-flight frame per session, so workers never contend; the
+	// lock exists so a snapshot taken between frames observes fully
+	// committed state.
+	runMu sync.Mutex
 
 	// preset, when non-nil, lets clients POST empty bodies: the server
 	// feeds the session from this synthetic stereo sequence instead,
@@ -82,8 +90,11 @@ func (s *session) geometry() (w, h int) {
 }
 
 // presetSource cycles through a pre-generated synthetic stereo sequence.
+// cfg is kept alongside the generated frames so a snapshot can record the
+// recipe instead of the pixels: restore regenerates the identical sequence.
 type presetSource struct {
 	name string
+	cfg  dataset.SceneConfig
 	seq  *dataset.Sequence
 	next int // next frame index, owned by the batcher/worker path
 }
@@ -94,13 +105,34 @@ func (ps *presetSource) frame() (left, right *imgproc.Image) {
 	return fr.Left, fr.Right
 }
 
-// newSessionID returns a 12-hex-char random identifier.
-func newSessionID() string {
+// NewSessionID returns a fresh 13-char random session identifier. It is
+// exported for the cluster gateway, which must know a session's id before
+// the owning shard does: consistent hashing places the session by id, so
+// the gateway mints the id, injects it into the create request, and routes
+// by it.
+func NewSessionID() string {
 	var b [6]byte
 	if _, err := rand.Read(b[:]); err != nil {
 		panic("serve: session id entropy: " + err.Error())
 	}
 	return "s" + hex.EncodeToString(b[:])
+}
+
+// validSessionID accepts ids that are safe as both URL path segments and
+// snapshot spill filenames: 1–64 chars of [A-Za-z0-9_-].
+func validSessionID(id string) bool {
+	if len(id) < 1 || len(id) > 64 {
+		return false
+	}
+	for i := 0; i < len(id); i++ {
+		c := id[i]
+		switch {
+		case c >= 'a' && c <= 'z', c >= 'A' && c <= 'Z', c >= '0' && c <= '9', c == '_', c == '-':
+		default:
+			return false
+		}
+	}
+	return true
 }
 
 // sessionTable is the server's id → session map with LRU-over-capacity and
@@ -131,14 +163,16 @@ func (t *sessionTable) len() int {
 	return len(t.byID)
 }
 
-// add inserts a fresh session, evicting the least-recently-used existing
-// session if the table is at capacity. Sessions with in-flight frames are
-// passed over as eviction candidates; their queued work still completes
-// because work items hold the *session pointer, removal only unlinks the id.
-func (t *sessionTable) add(s *session) {
+// add inserts a session (replacing any same-id entry in place), evicting
+// the least-recently-used existing session if the table is at capacity.
+// Sessions with in-flight frames are passed over as eviction candidates;
+// their queued work still completes because work items hold the *session
+// pointer, removal only unlinks the id. The evicted session, if any, is
+// returned so the server can spill it to disk before it is forgotten.
+func (t *sessionTable) add(s *session) (evicted *session) {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	if len(t.byID) >= t.max {
+	if _, exists := t.byID[s.id]; !exists && len(t.byID) >= t.max {
 		var victim *session
 		for _, cand := range t.byID {
 			if cand.pendingFrames.Load() > 0 {
@@ -151,9 +185,24 @@ func (t *sessionTable) add(s *session) {
 		if victim != nil {
 			delete(t.byID, victim.id)
 			t.evictions.Add(1)
+			evicted = victim
 		}
 	}
 	t.byID[s.id] = s
+	return evicted
+}
+
+// list returns the resident sessions sorted by id (stable output for the
+// session-listing endpoint the cluster drain protocol walks).
+func (t *sessionTable) list() []*session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]*session, 0, len(t.byID))
+	for _, s := range t.byID {
+		out = append(out, s)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].id < out[j].id })
+	return out
 }
 
 // remove unlinks a session by id, returning whether it was present.
@@ -166,17 +215,18 @@ func (t *sessionTable) remove(id string) bool {
 }
 
 // expire evicts every idle session whose last use is older than ttl,
-// returning how many went. Sessions with queued frames are never expired.
-func (t *sessionTable) expire(ttl time.Duration) int {
+// returning the evicted sessions (for spill-to-disk). Sessions with queued
+// frames are never expired.
+func (t *sessionTable) expire(ttl time.Duration) []*session {
 	t.mu.Lock()
 	defer t.mu.Unlock()
-	n := 0
+	var out []*session
 	for id, s := range t.byID {
 		if s.pendingFrames.Load() == 0 && s.idle() > ttl {
 			delete(t.byID, id)
 			t.evictions.Add(1)
-			n++
+			out = append(out, s)
 		}
 	}
-	return n
+	return out
 }

@@ -1,0 +1,122 @@
+#!/bin/sh
+# End-to-end smoke test of the sharded serving tier, as run by CI.
+#
+# Boots two asvserve shards sharing a spill directory (per-frame
+# checkpoints) plus an asvgate over them, drives load through the gateway
+# with asvload, asserts nothing failed, then drains one shard through the
+# gateway's migration endpoint and requires every migrated session to keep
+# serving. Finally everything shuts down cleanly on SIGTERM.
+set -eu
+
+workdir=$(mktemp -d)
+pids=""
+trap 'for p in $pids; do kill "$p" 2>/dev/null || true; done; rm -rf "$workdir"' EXIT
+
+go build -o "$workdir/asvserve" ./cmd/asvserve
+go build -o "$workdir/asvgate" ./cmd/asvgate
+go build -o "$workdir/asvload" ./cmd/asvload
+
+mkdir "$workdir/spill"
+
+start_shard() { # $1: index
+    "$workdir/asvserve" -addr 127.0.0.1:0 -portfile "$workdir/port$1" \
+        -workers 2 -queue 32 -pw 4 \
+        -spill-dir "$workdir/spill" -checkpoint-every 1 \
+        >"$workdir/shard$1.log" 2>&1 &
+    pids="$pids $!"
+    eval "shard$1_pid=$!"
+}
+
+wait_portfile() { # $1: path, $2: what
+    i=0
+    while [ ! -s "$1" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "cluster-smoke: $2 never wrote its portfile" >&2
+            cat "$workdir"/*.log >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    cat "$1"
+}
+
+start_shard 0
+start_shard 1
+addr0=$(wait_portfile "$workdir/port0" "shard 0")
+addr1=$(wait_portfile "$workdir/port1" "shard 1")
+echo "cluster-smoke: shards at $addr0 $addr1"
+
+"$workdir/asvgate" -addr 127.0.0.1:0 -portfile "$workdir/gwport" \
+    -shards "s0=http://$addr0,s1=http://$addr1" -health-interval 500ms \
+    >"$workdir/gate.log" 2>&1 &
+gate_pid=$!
+pids="$pids $gate_pid"
+gw=$(wait_portfile "$workdir/gwport" "gateway")
+echo "cluster-smoke: gateway at $gw"
+
+# 6 sessions x 8 frames = 48 requests, routed by session id over both shards.
+"$workdir/asvload" -addr "http://$gw" \
+    -sessions 6 -frames 8 -w 64 -h 48 -pw 4 -qps 60 -json \
+    >"$workdir/report.json"
+cat "$workdir/report.json"
+
+for field in status_5xx transport_errors dropped; do
+    v=$(jq -r ".$field" "$workdir/report.json")
+    [ "$v" = 0 ] || { echo "cluster-smoke: $field = $v" >&2; exit 1; }
+done
+requests=$(jq -r '.requests' "$workdir/report.json")
+ok=$(jq -r '.ok' "$workdir/report.json")
+[ "$ok" = 48 ] || { echo "cluster-smoke: expected 48 ok, got $ok of $requests" >&2; exit 1; }
+
+# Every session lives on exactly one shard (the ring's affinity contract);
+# the split itself is whatever the hash says for these random ids.
+n0=$(curl -sf "http://$addr0/v1/sessions" | jq '.sessions | length')
+n1=$(curl -sf "http://$addr1/v1/sessions" | jq '.sessions | length')
+echo "cluster-smoke: shard split $n0/$n1"
+[ $((n0 + n1)) = 6 ] || {
+    echo "cluster-smoke: cluster holds $((n0 + n1)) sessions, created 6" >&2
+    exit 1
+}
+
+# Drain the busier shard through the gateway: its sessions must migrate
+# (snapshot -> restore) onto the other with none failed, and the survivors
+# must keep serving every stream.
+if [ "$n0" -ge "$n1" ]; then
+    victim=s0 victim_owned=$n0 survivor_addr=$addr1
+else
+    victim=s1 victim_owned=$n1 survivor_addr=$addr0
+fi
+drain=$(curl -sf -X POST "http://$gw/v1/cluster/drain/$victim")
+echo "cluster-smoke: drain report $drain"
+migrated=$(echo "$drain" | jq -r '.migrated | length')
+failed=$(echo "$drain" | jq -r '.failed // {} | length')
+[ "$failed" = 0 ] || { echo "cluster-smoke: $failed sessions failed to migrate" >&2; exit 1; }
+[ "$migrated" = "$victim_owned" ] || {
+    echo "cluster-smoke: migrated $migrated sessions, $victim owned $victim_owned" >&2
+    exit 1
+}
+
+# After the drain every session lives on the survivor, and one more frame
+# per session through the gateway must serve from migrated state.
+survivor_ids=$(curl -sf "http://$survivor_addr/v1/sessions" | jq -r '.sessions[].id')
+[ "$(echo "$survivor_ids" | grep -c .)" = 6 ] || {
+    echo "cluster-smoke: survivor does not hold all 6 sessions after drain" >&2
+    exit 1
+}
+for id in $survivor_ids; do
+    code=$(curl -s -o /dev/null -w '%{http_code}' -X POST "http://$gw/v1/sessions/$id/frames")
+    [ "$code" = 200 ] || {
+        echo "cluster-smoke: post-drain frame on $id returned $code" >&2
+        exit 1
+    }
+done
+
+kill -TERM "$gate_pid"
+wait "$gate_pid" || { echo "cluster-smoke: gateway exited non-zero" >&2; cat "$workdir/gate.log" >&2; exit 1; }
+for p in $shard0_pid $shard1_pid; do
+    kill -TERM "$p"
+    wait "$p" || { echo "cluster-smoke: a shard exited non-zero after SIGTERM" >&2; cat "$workdir"/shard*.log >&2; exit 1; }
+done
+pids=""
+echo "cluster-smoke: OK (48 ok through gateway, $migrated sessions migrated off $victim, clean shutdown)"

@@ -7,8 +7,13 @@ import "testing"
 // server-side failures, latency percentiles reported, and backpressure
 // (429s) actually observed in the overload phase.
 func TestMeasureServeLoad(t *testing.T) {
+	// ShardFrameMs is far above the ~1.5ms of real matching per paced
+	// frame so the shards stay budget-bound even when the race detector
+	// inflates compute ~10x — otherwise the scaling assertion below would
+	// be measuring instrumentation overhead, not the gateway.
 	doc, err := MeasureServeLoad(ServeBenchConfig{
 		W: 48, H: 32, PW: 3, Sessions: 2, Frames: 5, QPS: 60,
+		ShardFrameMs: 60, ShardSessions: 4, ShardFrames: 6,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -31,5 +36,21 @@ func TestMeasureServeLoad(t *testing.T) {
 	}
 	if got := doc.ServeCounters["frames_accepted"]; got != int64(10) {
 		t.Fatalf("frames_accepted = %v, want 10", got)
+	}
+
+	ms := doc.MultiShard
+	wantReq := 4 * 6
+	if ms.OneShard.OK != wantReq || ms.TwoShard.OK != wantReq {
+		t.Fatalf("multi-shard phase lost frames: 1-shard %+v, 2-shard %+v", ms.OneShard, ms.TwoShard)
+	}
+	if ms.OneShard.Status5xx != 0 || ms.TwoShard.Status5xx != 0 {
+		t.Fatalf("multi-shard 5xx: 1-shard %+v, 2-shard %+v", ms.OneShard, ms.TwoShard)
+	}
+	// The committed-bench gate is 1.6x; here the phase is tiny and shares
+	// the test runner with everything else, so assert only that adding a
+	// shard helped at all — the deterministic id balancing and paced
+	// matcher are what this checks, not the absolute number.
+	if ms.ScaleX < 1.15 {
+		t.Fatalf("2-shard scaling %.2fx; even a noisy run should beat 1.15x", ms.ScaleX)
 	}
 }
