@@ -18,12 +18,14 @@ FUZZ_TARGETS := \
 	./internal/deconv:FuzzTransformEquivalence \
 	./internal/schedule:FuzzCostModelInvariants \
 	./internal/stereo:FuzzSatAdd \
-	./internal/serve:FuzzSnapshotDecode
+	./internal/serve:FuzzSnapshotDecode \
+	./internal/perception:FuzzCalibrationJSON \
+	./internal/perception:FuzzCloudDecode
 
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate serve-smoke cluster-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate eval-json serve-smoke cluster-smoke perception-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -59,6 +61,11 @@ kernels-json:
 kernels-gate:
 	go run ./cmd/asvbench -exp kernels -json BENCH_kernels.fresh.json -gate BENCH_kernels.json
 
+# Regenerate BENCH_eval.json, the committed accuracy sweep (bad-pixel
+# rates + depth RMSE per preset x matcher x PW) from the batch evaluator.
+eval-json:
+	go run ./cmd/asveval -json BENCH_eval.json
+
 # End-to-end smoke of the serving layer: boot asvserve on a random port,
 # push ~50 requests through asvload, assert latency was reported and no
 # request failed server-side, then drain via SIGTERM.
@@ -70,6 +77,12 @@ serve-smoke:
 # that must migrate every session and keep its stream serving.
 cluster-smoke:
 	./scripts/cluster_smoke.sh
+
+# End-to-end smoke of the 3D perception path: render a raw (misaligned)
+# pair with asvgen, serve it into a calibrated session, and check the
+# disparity/depth/point-cloud responses are well-formed.
+perception-smoke:
+	./scripts/perception_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -108,4 +121,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke cover kernels-gate
+check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke perception-smoke cover kernels-gate

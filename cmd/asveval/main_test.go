@@ -1,0 +1,75 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestRunSweepAndJSON runs a tiny sweep and checks the report: one row per
+// preset × matcher × PW combination, scores inside their domains, and the
+// -json file decoding back to the same rows.
+func TestRunSweepAndJSON(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "eval.json")
+	var b strings.Builder
+	args := []string{"-w", "48", "-h", "32", "-frames", "3", "-seed", "4",
+		"-presets", "sceneflow,kitti", "-matchers", "bm", "-pw", "1,2", "-json", path}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+
+	buf, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep EvalReport
+	if err := json.Unmarshal(buf, &rep); err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Rows) != 4 {
+		t.Fatalf("got %d rows, want 2 presets x 1 matcher x 2 PWs = 4", len(rep.Rows))
+	}
+	for _, r := range rep.Rows {
+		if r.Bad1 < 0 || r.Bad1 > 100 || r.Bad3 < 0 || r.Bad3 > 100 {
+			t.Fatalf("%s/%s/PW%d: bad rates out of [0,100]: %+v", r.Preset, r.Matcher, r.PW, r)
+		}
+		if r.Bad3 > r.Bad1 {
+			t.Fatalf("%s/%s/PW%d: bad-3 %.2f exceeds bad-1 %.2f", r.Preset, r.Matcher, r.PW, r.Bad3, r.Bad1)
+		}
+		if r.DepthRMS <= 0 || r.CloudPts <= 0 || r.MMACs <= 0 {
+			t.Fatalf("%s/%s/PW%d: degenerate scores: %+v", r.Preset, r.Matcher, r.PW, r)
+		}
+		wantKeys := 1.0
+		if r.PW == 2 {
+			wantKeys = 2.0 / 3.0
+		}
+		if d := r.KeyRate - wantKeys; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("PW%d key rate %.3f, want %.3f", r.PW, r.KeyRate, wantKeys)
+		}
+	}
+	// Rows are sorted preset, matcher, PW — the committed JSON is stable.
+	if rep.Rows[0].Preset != "kitti" || rep.Rows[2].Preset != "sceneflow" {
+		t.Fatalf("rows not sorted: %+v", rep.Rows)
+	}
+	if !strings.Contains(b.String(), "bad-1") || !strings.Contains(b.String(), "wrote "+path) {
+		t.Fatalf("unexpected output: %q", b.String())
+	}
+}
+
+func TestRunRejectsBadConfigs(t *testing.T) {
+	var b strings.Builder
+	for _, args := range [][]string{
+		{"-presets", "middlebury"},
+		{"-matchers", "dnn"},
+		{"-pw", "0"},
+		{"-pw", "x"},
+		{"-presets", ","},
+		{"-nonsense"},
+	} {
+		if err := run(args, &b); err == nil {
+			t.Fatalf("args %v accepted", args)
+		}
+	}
+}

@@ -3,9 +3,16 @@
 // Middlebury format), so the generated benchmarks can be consumed by
 // external stereo tools.
 //
+// With -raw the left/right views are warped through a known calibration's
+// per-camera misalignment before writing — what the physical, unrectified
+// cameras would have captured — and the calibration itself is written
+// alongside as calibration.json, ready to open a calibrated serving
+// session against (the perception smoke test's input).
+//
 // Usage:
 //
 //	asvgen -out /tmp/seq -frames 8 -w 320 -h 200 -preset kitti
+//	asvgen -out /tmp/raw -raw        # misaligned views + calibration.json
 package main
 
 import (
@@ -36,6 +43,7 @@ func run(args []string, out io.Writer) error {
 	height := fs.Int("h", 200, "frame height")
 	seed := fs.Int64("seed", 1, "scene seed")
 	preset := fs.String("preset", "sceneflow", "scene preset (sceneflow|kitti)")
+	raw := fs.Bool("raw", false, "write RAW (misaligned) views plus the calibration.json that rectifies them")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -54,14 +62,30 @@ func run(args []string, out io.Writer) error {
 	if err := os.MkdirAll(*outDir, 0o755); err != nil {
 		return err
 	}
+	var calib *asv.Calibration
+	if *raw {
+		calib = asv.DefaultCalibration(*width, *height)
+		calib.LeftRPY = [3]float64{0.004, -0.003, 0.002}
+		calib.RightRPY = [3]float64{-0.002, 0.005, -0.003}
+		path := filepath.Join(*outDir, "calibration.json")
+		if err := os.WriteFile(path, calib.EncodeJSON(), 0o644); err != nil {
+			return fmt.Errorf("writing calibration.json: %w", err)
+		}
+	}
+
 	seq := asv.GenerateSequence(cfg)
 	for i, fr := range seq.Frames {
+		left, right := fr.Left, fr.Right
+		if calib != nil {
+			left = asv.MisalignImage(left, calib.Intrinsics(), calib.RotLeft())
+			right = asv.MisalignImage(right, calib.Intrinsics(), calib.RotRight())
+		}
 		files := []struct {
 			name string
 			save func(string) error
 		}{
-			{fmt.Sprintf("left_%03d.pgm", i), func(p string) error { return asv.SavePGM(p, fr.Left) }},
-			{fmt.Sprintf("right_%03d.pgm", i), func(p string) error { return asv.SavePGM(p, fr.Right) }},
+			{fmt.Sprintf("left_%03d.pgm", i), func(p string) error { return asv.SavePGM(p, left) }},
+			{fmt.Sprintf("right_%03d.pgm", i), func(p string) error { return asv.SavePGM(p, right) }},
 			{fmt.Sprintf("disp_%03d.pfm", i), func(p string) error { return asv.SavePFM(p, fr.GT) }},
 		}
 		for _, f := range files {
@@ -70,7 +94,11 @@ func run(args []string, out io.Writer) error {
 			}
 		}
 	}
-	fmt.Fprintf(out, "wrote %d frames (left/right PGM + disparity PFM) to %s\n",
-		len(seq.Frames), *outDir)
+	kind := "left/right PGM"
+	if calib != nil {
+		kind = "RAW left/right PGM + calibration.json"
+	}
+	fmt.Fprintf(out, "wrote %d frames (%s + disparity PFM) to %s\n",
+		len(seq.Frames), kind, *outDir)
 	return nil
 }

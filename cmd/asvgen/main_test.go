@@ -2,6 +2,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -73,6 +74,61 @@ func TestRunRendersReadableSequence(t *testing.T) {
 				t.Fatalf("%s: pixel %d not bit-identical: %v vs %v", name, px, gt.Pix[px], fr.GT.Pix[px])
 			}
 		}
+	}
+}
+
+// TestRunRawWritesCalibratedViews: -raw must write a parseable
+// calibration.json whose misalignment actually moved the views — and
+// rectifying the written views through it must bring them back near the
+// rendered originals (the contract the perception smoke test leans on).
+func TestRunRawWritesCalibratedViews(t *testing.T) {
+	dir := t.TempDir()
+	var b strings.Builder
+	args := []string{"-out", dir, "-raw", "-frames", "1", "-w", "64", "-h", "48", "-seed", "6"}
+	if err := run(args, &b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "calibration.json") {
+		t.Fatalf("summary does not mention calibration.json: %q", b.String())
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, "calibration.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	calib, err := asv.ParseCalibration(raw)
+	if err != nil {
+		t.Fatalf("written calibration does not parse: %v", err)
+	}
+
+	cfg := asv.SceneFlowLike(64, 48, 1, 6)[0]
+	ref := asv.GenerateSequence(cfg).Frames[0]
+	rawL, err := asv.LoadPGM(filepath.Join(dir, "left_000.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rawR, err := asv.LoadPGM(filepath.Join(dir, "right_000.pgm"))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	diff := func(a, b *asv.Image) float64 {
+		var sum float64
+		for i := range a.Pix {
+			d := float64(a.Pix[i] - b.Pix[i])
+			if d < 0 {
+				d = -d
+			}
+			sum += d
+		}
+		return sum / float64(len(a.Pix))
+	}
+	if d := diff(rawL, ref.Left); d < 1e-4 {
+		t.Fatalf("raw left barely differs from rectified (mean |d| %g); misalignment not applied", d)
+	}
+	recL, _ := calib.RectifyPair(rawL, rawR)
+	if raw, rec := diff(rawL, ref.Left), diff(recL, ref.Left); rec >= raw {
+		t.Fatalf("rectifying with the written calibration does not recover the view (raw %g, rectified %g)", raw, rec)
 	}
 }
 

@@ -12,6 +12,9 @@
 //
 //	asvload -addr http://127.0.0.1:8080 -sessions 4 -frames 25 -qps 40
 //	asvload -addr http://127.0.0.1:8080 -upload          # ship PGM bytes
+//	asvload -addr http://127.0.0.1:8080 -raw             # raw pairs, server rectifies
+//	asvload -addr http://127.0.0.1:8080 -format cloud    # point-cloud replies
+//	asvload -addr http://127.0.0.1:8080 -upload -mixed   # every serving path at once
 //	asvload -addr http://127.0.0.1:8080 -json            # machine output
 //	asvload -addrs http://127.0.0.1:8081,http://127.0.0.1:8082
 package main
@@ -50,6 +53,9 @@ func run(args []string, out io.Writer) error {
 	preset := fs.String("preset", "sceneflow", "synthetic scene preset (sceneflow|kitti)")
 	seed := fs.Int64("seed", 7, "scene seed")
 	upload := fs.Bool("upload", false, "ship PGM frames in the request body instead of server-side presets")
+	raw := fs.Bool("raw", false, "ship RAW (misaligned) uploads against calibrated sessions; the server rectifies before matching (implies -upload)")
+	format := fs.String("format", "json", "response format each frame requests (json|disparity|depth|cloud)")
+	mixed := fs.Bool("mixed", false, "cycle sessions through rectified/raw uploads and all response formats (overrides -raw/-format per session)")
 	retry429 := fs.Int("retry-429", 0, "retries per 429'd frame after honoring Retry-After (0 = default, negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -68,6 +74,9 @@ func run(args []string, out io.Writer) error {
 		Preset:   *preset,
 		Seed:     *seed,
 		Upload:   *upload,
+		Raw:      *raw,
+		Format:   *format,
+		Mixed:    *mixed,
 		Retry429: *retry429,
 		Timeout:  *timeout,
 	}
@@ -125,6 +134,10 @@ func printReport(out io.Writer, label string, rep asv.ServeLoadReport) {
 	fmt.Fprintf(out, "  ok %d (key %d, propagated %d)  429 %d (retried %d, dropped %d)  4xx %d  5xx %d  transport %d\n",
 		rep.OK, rep.KeyFrames, rep.NonKey, rep.Rejected, rep.Retries, rep.Dropped,
 		rep.Status4xx, rep.Status5xx, rep.Transport)
+	if rep.DepthMaps > 0 || rep.Clouds > 0 {
+		fmt.Fprintf(out, "  perception: depth maps %d  clouds %d (%d points)\n",
+			rep.DepthMaps, rep.Clouds, rep.CloudPts)
+	}
 	fmt.Fprintf(out, "  latency ms: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
 		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)
 }

@@ -71,6 +71,43 @@ func TestGoldenStereoMatchers(t *testing.T) {
 	s.Check(t, "kitti96.sgm.d3", fmt.Sprintf("%.6f", asv.ThreePixelError(sgm, f0.GT)))
 }
 
+// TestGoldenPerceptionCloud pins the 3D perception path bit-exactly:
+// misalign the corpus frame through a known calibration, rectify it back,
+// match, triangulate to metric depth, and reproject to a point cloud. The
+// cloud checksum covers every point's raw float32 bit pattern, so any
+// drift in rectification, matching or the pinhole reprojection surfaces
+// here.
+func TestGoldenPerceptionCloud(t *testing.T) {
+	s := goldenStore(t)
+	f0 := corpusScene().Frames[0]
+
+	calib := asv.DefaultCalibration(96, 64)
+	calib.LeftRPY = [3]float64{0.004, -0.003, 0.002}
+	calib.RightRPY = [3]float64{-0.002, 0.005, -0.003}
+
+	rawL := asv.MisalignImage(f0.Left, calib.Intrinsics(), calib.RotLeft())
+	rawR := asv.MisalignImage(f0.Right, calib.Intrinsics(), calib.RotRight())
+	recL, recR := calib.RectifyPair(rawL, rawR)
+
+	sgmOpt := asv.DefaultSGMOptions()
+	sgmOpt.MaxDisp = 32
+	disp := asv.SGM(recL, recR, sgmOpt)
+
+	depth := asv.DepthFromDisparity(disp, calib)
+	s.CheckImage(t, "perception.kitti96.depth", depth)
+
+	cloud := asv.ReprojectCloud(disp, recL, calib)
+	flat := make([]float32, 0, 4*len(cloud.Points))
+	for _, p := range cloud.Points {
+		flat = append(flat, p.X, p.Y, p.Z, p.I)
+	}
+	s.Check(t, "perception.kitti96.cloud", testkit.Checksum(flat))
+	s.Check(t, "perception.kitti96.cloud.points", fmt.Sprintf("%d", len(cloud.Points)))
+	st := cloud.Stats()
+	s.Check(t, "perception.kitti96.cloud.valid_frac", fmt.Sprintf("%.6f", st.ValidFrac))
+	s.Check(t, "perception.kitti96.cloud.p50_z", fmt.Sprintf("%.6f", st.P50Z))
+}
+
 func TestGoldenISMPipeline(t *testing.T) {
 	s := goldenStore(t)
 	seq := dataset.Generate(dataset.SceneFlowLike(96, 64, 4, 7)[0])

@@ -1,0 +1,211 @@
+package perception
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"math"
+	"sort"
+
+	"asv/internal/imgproc"
+)
+
+// Point is one reprojected sample: metric coordinates in the left camera
+// frame plus the source pixel's intensity (0 when no intensity image was
+// supplied).
+type Point struct {
+	X, Y, Z, I float32
+}
+
+// Cloud is a reprojected point cloud. Points are in row-major scan order of
+// the source disparity grid with invalid pixels dropped, so clouds built
+// from identical inputs are bit-identical — the property the golden tests
+// and the snapshot-migration oracle pin.
+type Cloud struct {
+	// W, H is the source disparity grid the cloud was reprojected from.
+	W, H   int
+	Points []Point
+}
+
+// Reproject triangulates every valid disparity into a 3D point (see the
+// package comment for the pinhole equations). intensity, when non-nil,
+// must match disp's geometry and fills each point's I channel — pass the
+// rectified left view to get a colorable cloud.
+func Reproject(disp, intensity *imgproc.Image, c *Calibration) *Cloud {
+	if intensity != nil && (intensity.W != disp.W || intensity.H != disp.H) {
+		panic(fmt.Sprintf("perception: intensity %dx%d does not match disparity %dx%d",
+			intensity.W, intensity.H, disp.W, disp.H))
+	}
+	fb := c.Fx * c.BaselineM
+	out := &Cloud{W: disp.W, H: disp.H}
+	for y := 0; y < disp.H; y++ {
+		row := disp.Pix[y*disp.W : (y+1)*disp.W]
+		for x, d := range row {
+			if !(d >= MinValidDisp) || math.IsInf(float64(d), 0) {
+				continue
+			}
+			z := fb / float64(d)
+			p := Point{
+				X: float32((float64(x) - c.Cx) * z / c.Fx),
+				Y: float32((float64(y) - c.Cy) * z / c.Fy),
+				Z: float32(z),
+			}
+			if intensity != nil {
+				p.I = intensity.Pix[y*disp.W+x]
+			}
+			out.Points = append(out.Points, p)
+		}
+	}
+	return out
+}
+
+// CloudStats is the per-cloud metrics digest: how much of the grid
+// triangulated and where the depth mass sits. Percentiles are computed over
+// the points' Z values (metres).
+type CloudStats struct {
+	Points    int     `json:"points"`
+	Grid      int     `json:"grid_pixels"`
+	ValidFrac float64 `json:"valid_frac"`
+	MinZ      float64 `json:"min_z_m"`
+	P10Z      float64 `json:"p10_z_m"`
+	P50Z      float64 `json:"p50_z_m"`
+	P90Z      float64 `json:"p90_z_m"`
+	MaxZ      float64 `json:"max_z_m"`
+	MeanZ     float64 `json:"mean_z_m"`
+}
+
+// Stats digests the cloud. An empty cloud reports zeros.
+func (c *Cloud) Stats() CloudStats {
+	st := CloudStats{Points: len(c.Points), Grid: c.W * c.H}
+	if st.Grid > 0 {
+		st.ValidFrac = float64(st.Points) / float64(st.Grid)
+	}
+	if len(c.Points) == 0 {
+		return st
+	}
+	zs := make([]float64, len(c.Points))
+	var sum float64
+	for i, p := range c.Points {
+		zs[i] = float64(p.Z)
+		sum += float64(p.Z)
+	}
+	sort.Float64s(zs)
+	pct := func(q float64) float64 {
+		idx := int(q*float64(len(zs))) - 1
+		if idx < 0 {
+			idx = 0
+		}
+		return zs[idx]
+	}
+	st.MinZ = zs[0]
+	st.P10Z = pct(0.10)
+	st.P50Z = pct(0.50)
+	st.P90Z = pct(0.90)
+	st.MaxZ = zs[len(zs)-1]
+	st.MeanZ = sum / float64(len(zs))
+	return st
+}
+
+// --- streaming binary codec ---------------------------------------------
+//
+// Wire format "ASVPCD", version 1, all integers little-endian:
+//
+//	[6]byte  magic "ASVPCD"
+//	uint8    version (1)
+//	uint32   grid width, uint32 grid height
+//	uint32   point count (≤ width·height)
+//	count ×  4 float32 (x, y, z, intensity)
+//	uint32   IEEE CRC32 of everything before it (magic included)
+//
+// Like the session snapshot codec it is strictly versioned and fully
+// validated: truncation, bad counts, non-finite coordinates, trailing
+// bytes, or a CRC mismatch yield a typed *CloudError, never a panic.
+
+// CloudCodecVersion is the wire-format version this build writes.
+const CloudCodecVersion = 1
+
+const cloudMagic = "ASVPCD"
+
+// cloudMaxDim caps the decoded grid dimensions.
+const cloudMaxDim = 1 << 15
+
+// CloudError is the typed failure for corrupt point-cloud bytes.
+type CloudError struct{ msg string }
+
+func (e *CloudError) Error() string { return "cloud: " + e.msg }
+
+func cloudErrf(format string, args ...any) *CloudError {
+	return &CloudError{msg: fmt.Sprintf(format, args...)}
+}
+
+// EncodeCloud serializes the cloud into the versioned binary format.
+func EncodeCloud(c *Cloud) []byte {
+	buf := make([]byte, 0, len(cloudMagic)+1+12+16*len(c.Points)+4)
+	buf = append(buf, cloudMagic...)
+	buf = append(buf, CloudCodecVersion)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.W))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(c.H))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(c.Points)))
+	for _, p := range c.Points {
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.X))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Y))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.Z))
+		buf = binary.LittleEndian.AppendUint32(buf, math.Float32bits(p.I))
+	}
+	return binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(buf))
+}
+
+// DecodeCloud parses and validates cloud bytes. maxPoints bounds the
+// allocation a hostile payload can force (≤ 0 selects a 2^24 default).
+// Anything DecodeCloud accepts re-encodes to the identical bytes.
+func DecodeCloud(data []byte, maxPoints int) (*Cloud, error) {
+	if maxPoints <= 0 {
+		maxPoints = 1 << 24
+	}
+	header := len(cloudMagic) + 1 + 12
+	if len(data) < header+4 {
+		return nil, cloudErrf("%d bytes is shorter than any cloud", len(data))
+	}
+	if string(data[:len(cloudMagic)]) != cloudMagic {
+		return nil, cloudErrf("bad magic %q", data[:len(cloudMagic)])
+	}
+	if v := data[len(cloudMagic)]; v != CloudCodecVersion {
+		return nil, cloudErrf("unsupported version %d (this build reads %d)", v, CloudCodecVersion)
+	}
+	body, tail := data[:len(data)-4], data[len(data)-4:]
+	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
+		return nil, cloudErrf("checksum mismatch (computed %08x, recorded %08x)", got, want)
+	}
+	pos := len(cloudMagic) + 1
+	w := binary.LittleEndian.Uint32(body[pos:])
+	h := binary.LittleEndian.Uint32(body[pos+4:])
+	n := binary.LittleEndian.Uint32(body[pos+8:])
+	pos += 12
+	if w < 1 || w > cloudMaxDim || h < 1 || h > cloudMaxDim {
+		return nil, cloudErrf("grid %dx%d out of range [1, %d]", w, h, cloudMaxDim)
+	}
+	if uint64(n) > uint64(w)*uint64(h) {
+		return nil, cloudErrf("%d points exceed the %dx%d grid", n, w, h)
+	}
+	if int64(n) > int64(maxPoints) {
+		return nil, cloudErrf("%d points exceed the %d-point cap", n, maxPoints)
+	}
+	if len(body)-pos != 16*int(n) {
+		return nil, cloudErrf("payload is %d bytes, %d points need %d", len(body)-pos, n, 16*int(n))
+	}
+	out := &Cloud{W: int(w), H: int(h), Points: make([]Point, n)}
+	for i := range out.Points {
+		p := &out.Points[i]
+		p.X = math.Float32frombits(binary.LittleEndian.Uint32(body[pos:]))
+		p.Y = math.Float32frombits(binary.LittleEndian.Uint32(body[pos+4:]))
+		p.Z = math.Float32frombits(binary.LittleEndian.Uint32(body[pos+8:]))
+		p.I = math.Float32frombits(binary.LittleEndian.Uint32(body[pos+12:]))
+		pos += 16
+		for _, v := range [4]float32{p.X, p.Y, p.Z, p.I} {
+			if v != v || math.IsInf(float64(v), 0) {
+				return nil, cloudErrf("non-finite coordinate in point %d", i)
+			}
+		}
+	}
+	return out, nil
+}

@@ -1,0 +1,190 @@
+// Package perception turns the disparity maps the ASV pipeline stops at
+// into the 3D outputs a deployed stereo system actually ships: metric depth
+// maps and point clouds. It owns the serving-side calibration model (pinhole
+// intrinsics + per-camera rotational misalignment + stereo baseline), the
+// disparity→depth→point-cloud reprojection engine, a streaming binary
+// point-cloud codec, and ASCII/binary PLY writers.
+//
+// Geometry. Rectified cameras are pinhole cameras with intrinsics K
+// (rectify.Intrinsics); a pixel (x, y) with disparity d > 0 triangulates to
+//
+//	Z = fx·B / d        (metres; Equ. 1 of the paper with f in pixels)
+//	X = (x - cx)·Z / fx
+//	Y = (y - cy)·Z / fy
+//
+// in the left camera frame (x right, y down, z forward). Invalid
+// disparities (non-positive, non-finite, or below MinValidDisp) produce no
+// point: the reprojection is validity-aware, so speckle-filtered or
+// occluded pixels drop cleanly instead of becoming infinities.
+package perception
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"math"
+
+	"asv/internal/imgproc"
+	"asv/internal/rectify"
+)
+
+// MinValidDisp is the smallest disparity (pixels) that still triangulates:
+// anything below it is treated as invalid rather than mapped to a
+// kilometres-away point dominated by matching noise.
+const MinValidDisp = 1e-3
+
+// MaxTiltRad bounds each calibration Euler angle: the rotational-
+// misalignment model is a small-angle correction, not an arbitrary
+// re-aiming of the camera.
+const MaxTiltRad = 0.7
+
+// CalibrationError is the typed failure for unparseable or out-of-range
+// calibration JSON. Parsing never panics: any malformed input yields one of
+// these, because calibration bytes cross trust boundaries (HTTP bodies,
+// snapshot payloads).
+type CalibrationError struct{ msg string }
+
+func (e *CalibrationError) Error() string { return "calibration: " + e.msg }
+
+func calibErrf(format string, args ...any) *CalibrationError {
+	return &CalibrationError{msg: fmt.Sprintf(format, args...)}
+}
+
+// Calibration is a serving session's camera model: shared pinhole
+// intrinsics (the rectified pair lives on one common image plane), the
+// small rotation of each physical camera relative to that plane as
+// roll/pitch/yaw Euler angles (radians, rectify.Rotation convention), and
+// the stereo baseline in metres. The zero rotation means the camera is
+// already rectified; rectification is then an identity resample.
+type Calibration struct {
+	Fx        float64    `json:"fx"`
+	Fy        float64    `json:"fy"`
+	Cx        float64    `json:"cx"`
+	Cy        float64    `json:"cy"`
+	BaselineM float64    `json:"baseline_m"`
+	LeftRPY   [3]float64 `json:"left_rpy"`
+	RightRPY  [3]float64 `json:"right_rpy"`
+}
+
+// DefaultCalibration returns an already-rectified rig for a w×h stream:
+// DefaultIntrinsics (≈53° FoV) and the Bumblebee2's 120 mm baseline.
+func DefaultCalibration(w, h int) *Calibration {
+	in := rectify.DefaultIntrinsics(w, h)
+	return &Calibration{Fx: in.Fx, Fy: in.Fy, Cx: in.Cx, Cy: in.Cy, BaselineM: 0.120}
+}
+
+// Intrinsics returns the pinhole parameters as the rectify package's type.
+func (c *Calibration) Intrinsics() rectify.Intrinsics {
+	return rectify.Intrinsics{Fx: c.Fx, Fy: c.Fy, Cx: c.Cx, Cy: c.Cy}
+}
+
+// RotLeft returns the left camera's rotation relative to the rectified
+// frame.
+func (c *Calibration) RotLeft() rectify.Mat3 {
+	return rectify.Rotation(c.LeftRPY[0], c.LeftRPY[1], c.LeftRPY[2])
+}
+
+// RotRight returns the right camera's rotation relative to the rectified
+// frame.
+func (c *Calibration) RotRight() rectify.Mat3 {
+	return rectify.Rotation(c.RightRPY[0], c.RightRPY[1], c.RightRPY[2])
+}
+
+// Validate checks every field against the model's bounds; it returns a
+// *CalibrationError describing the first violation, or nil.
+func (c *Calibration) Validate() error {
+	for _, f := range []struct {
+		name string
+		v    float64
+	}{{"fx", c.Fx}, {"fy", c.Fy}, {"cx", c.Cx}, {"cy", c.Cy}, {"baseline_m", c.BaselineM}} {
+		if math.IsNaN(f.v) || math.IsInf(f.v, 0) {
+			return calibErrf("%s is not finite", f.name)
+		}
+	}
+	if c.Fx <= 0 || c.Fx > 1e6 || c.Fy <= 0 || c.Fy > 1e6 {
+		return calibErrf("focal lengths (%g, %g) out of range (0, 1e6]", c.Fx, c.Fy)
+	}
+	if math.Abs(c.Cx) > 1e6 || math.Abs(c.Cy) > 1e6 {
+		return calibErrf("principal point (%g, %g) out of range [-1e6, 1e6]", c.Cx, c.Cy)
+	}
+	if c.BaselineM <= 0 || c.BaselineM > 100 {
+		return calibErrf("baseline %g m out of range (0, 100]", c.BaselineM)
+	}
+	for i, a := range c.LeftRPY {
+		if math.IsNaN(a) || math.Abs(a) > MaxTiltRad {
+			return calibErrf("left_rpy[%d] = %g out of range [-%g, %g]", i, a, MaxTiltRad, MaxTiltRad)
+		}
+	}
+	for i, a := range c.RightRPY {
+		if math.IsNaN(a) || math.Abs(a) > MaxTiltRad {
+			return calibErrf("right_rpy[%d] = %g out of range [-%g, %g]", i, a, MaxTiltRad, MaxTiltRad)
+		}
+	}
+	return nil
+}
+
+// maxCalibrationJSON bounds the bytes ParseCalibration will look at.
+const maxCalibrationJSON = 1 << 12
+
+// ParseCalibration decodes and validates calibration JSON. Unknown fields,
+// structural damage, and out-of-range values all yield a *CalibrationError;
+// the function never panics.
+func ParseCalibration(data []byte) (*Calibration, error) {
+	if len(data) > maxCalibrationJSON {
+		return nil, calibErrf("%d bytes exceeds the %d-byte cap", len(data), maxCalibrationJSON)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var c Calibration
+	if err := dec.Decode(&c); err != nil {
+		return nil, calibErrf("parsing: %v", err)
+	}
+	// Trailing garbage after the object is damage, not a second document.
+	if dec.More() {
+		return nil, calibErrf("trailing data after the calibration object")
+	}
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	return &c, nil
+}
+
+// EncodeJSON serializes the calibration in the format ParseCalibration
+// reads.
+func (c *Calibration) EncodeJSON() []byte {
+	buf, err := json.Marshal(c)
+	if err != nil {
+		// Unreachable: the struct contains only floats and arrays.
+		panic("perception: encoding calibration: " + err.Error())
+	}
+	return buf
+}
+
+// RectifyPair warps a raw captured stereo pair onto the rectified frame.
+// It is exactly rectify.RectifyPair under this calibration — the serving
+// path and an offline rectification produce bit-identical images.
+func (c *Calibration) RectifyPair(left, right *imgproc.Image) (*imgproc.Image, *imgproc.Image) {
+	return rectify.RectifyPair(left, right, c.Intrinsics(), c.RotLeft(), c.RotRight())
+}
+
+// Rectified reports whether rectification is an identity warp (all six
+// Euler angles are exactly zero).
+func (c *Calibration) Rectified() bool {
+	return c.LeftRPY == [3]float64{} && c.RightRPY == [3]float64{}
+}
+
+// DepthMap converts a disparity map into metric depth on the same grid:
+// Z = fx·B/d in metres. Invalid disparities map to 0 (never negative, so a
+// PFM round trip preserves the validity convention).
+func DepthMap(disp *imgproc.Image, c *Calibration) *imgproc.Image {
+	out := imgproc.NewImage(disp.W, disp.H)
+	fb := float32(c.Fx * c.BaselineM)
+	for i, d := range disp.Pix {
+		// d >= MinValidDisp is false for NaN; an infinite disparity divides
+		// to exactly 0, which is already the invalid marker.
+		if d >= MinValidDisp {
+			out.Pix[i] = fb / d
+		}
+	}
+	return out
+}

@@ -1,0 +1,69 @@
+package perception
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+)
+
+// PLY writers. PLY is the de-facto interchange format for point clouds
+// (MeshLab, CloudCompare, Open3D all read it); both the human-readable
+// ASCII profile and the compact binary_little_endian profile are emitted
+// with identical vertex layout: x, y, z, intensity as float32.
+
+// plyHeader writes the shared header for n vertices.
+func plyHeader(w io.Writer, format string, n int) error {
+	_, err := fmt.Fprintf(w, "ply\nformat %s 1.0\ncomment asv perception point cloud\n"+
+		"element vertex %d\n"+
+		"property float x\nproperty float y\nproperty float z\nproperty float intensity\n"+
+		"end_header\n", format, n)
+	return err
+}
+
+// WritePLYASCII writes the cloud as ASCII PLY. Coordinates are formatted
+// with strconv's shortest float32-round-trip representation, so the output
+// is deterministic and loses no precision.
+func WritePLYASCII(w io.Writer, c *Cloud) error {
+	bw := bufio.NewWriter(w)
+	if err := plyHeader(bw, "ascii", len(c.Points)); err != nil {
+		return err
+	}
+	var line []byte
+	for _, p := range c.Points {
+		line = line[:0]
+		line = strconv.AppendFloat(line, float64(p.X), 'g', -1, 32)
+		line = append(line, ' ')
+		line = strconv.AppendFloat(line, float64(p.Y), 'g', -1, 32)
+		line = append(line, ' ')
+		line = strconv.AppendFloat(line, float64(p.Z), 'g', -1, 32)
+		line = append(line, ' ')
+		line = strconv.AppendFloat(line, float64(p.I), 'g', -1, 32)
+		line = append(line, '\n')
+		if _, err := bw.Write(line); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// WritePLYBinary writes the cloud as binary_little_endian PLY.
+func WritePLYBinary(w io.Writer, c *Cloud) error {
+	bw := bufio.NewWriter(w)
+	if err := plyHeader(bw, "binary_little_endian", len(c.Points)); err != nil {
+		return err
+	}
+	var buf [16]byte
+	for _, p := range c.Points {
+		binary.LittleEndian.PutUint32(buf[0:], math.Float32bits(p.X))
+		binary.LittleEndian.PutUint32(buf[4:], math.Float32bits(p.Y))
+		binary.LittleEndian.PutUint32(buf[8:], math.Float32bits(p.Z))
+		binary.LittleEndian.PutUint32(buf[12:], math.Float32bits(p.I))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}

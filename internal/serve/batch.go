@@ -20,6 +20,9 @@ type workItem struct {
 	enqueued    time.Time
 	started     time.Time
 	reply       chan frameReply
+	// wantLeft asks the worker to capture the (rectified) left view in the
+	// reply; cloud responses use it as the points' intensity channel.
+	wantLeft bool
 }
 
 // frameReply is what the worker hands back to the blocked HTTP handler.
@@ -30,6 +33,9 @@ type frameReply struct {
 	queueWait time.Duration
 	compute   time.Duration
 	err       error
+	// left is the rectified left view of this frame, captured only when the
+	// work item asked for it (cloud intensity).
+	left *imgproc.Image
 }
 
 // batcher is the dynamic micro-batcher between the admission queue and the
@@ -254,6 +260,21 @@ func (b *batcher) runFrame(it *workItem, rep *frameReply) (checkpoint []byte) {
 	if err := it.sess.checkGeometry(left, right); err != nil {
 		rep.err = badFrameError{err}
 		return nil
+	}
+	// Calibrated sessions rectify every incoming pair before matching —
+	// the same rectify.RectifyPair an offline pipeline would run, so the
+	// served disparities are bit-identical to rectifying first and serving
+	// the rectified pair. Already-rectified rigs (zero rotations) skip the
+	// identity warp.
+	if calib := it.sess.calib; calib != nil && !calib.Rectified() {
+		tr := time.Now()
+		left, right = calib.RectifyPair(left, right)
+		if b.s.cfg.Metrics != nil {
+			b.s.cfg.Metrics.Stage("rectify").Observe(time.Since(tr))
+		}
+	}
+	if it.wantLeft {
+		rep.left = left
 	}
 
 	t0 := time.Now()

@@ -14,6 +14,8 @@ import (
 
 	"asv/internal/dataset"
 	"asv/internal/imgproc"
+	"asv/internal/perception"
+	"asv/internal/rectify"
 )
 
 // Load generation: replay synthetic stereo streams against a live server at
@@ -37,6 +39,20 @@ type LoadConfig struct {
 	// server-side preset sessions — exercises the decode path at the price
 	// of client-side encoding.
 	Upload bool `json:"upload"`
+	// Raw ships unrectified uploads: each session is created with a
+	// calibration carrying non-zero per-eye rotations, and every uploaded
+	// pair is misaligned through it client-side, so the server's
+	// rectify-before-match path is on the measured critical path. Implies
+	// Upload.
+	Raw bool `json:"raw"`
+	// Format is the response format every frame requests: "json" (the
+	// default), "disparity" (PFM), "depth" (PFM), or "cloud" (binary
+	// codec). Depth and cloud sessions are created with a calibration.
+	Format string `json:"format,omitempty"`
+	// Mixed cycles the run's sessions through rectified and raw uploads and
+	// all four response formats, exercising every serving path at once.
+	// Per-session it overrides Raw and Format.
+	Mixed bool `json:"mixed"`
 	// IDs optionally pins the session ids this run creates (session i gets
 	// IDs[i]; extra sessions fall back to server-minted ids). The multi-shard
 	// bench uses this to pre-balance sessions across a gateway's hash ring so
@@ -80,6 +96,12 @@ func (c LoadConfig) withDefaults() LoadConfig {
 	if c.Retry429 == 0 {
 		c.Retry429 = 3
 	}
+	if c.Raw {
+		c.Upload = true
+	}
+	if c.Format == "" {
+		c.Format = "json"
+	}
 	if c.Max429Wait <= 0 {
 		c.Max429Wait = 50 * time.Millisecond
 	}
@@ -102,6 +124,9 @@ type LoadReport struct {
 	Transport  int     `json:"transport_errors"`
 	KeyFrames  int     `json:"key_frames"`
 	NonKey     int     `json:"non_key_frames"`
+	DepthMaps  int     `json:"depth_maps"`   // frames answered as metric depth
+	Clouds     int     `json:"clouds"`       // frames answered as point clouds
+	CloudPts   int64   `json:"cloud_points"` // total points across cloud replies
 	DurationMs float64 `json:"duration_ms"`
 	AchievedTP float64 `json:"achieved_rps"` // completed requests / duration
 	OKRps      float64 `json:"ok_rps"`       // successful frames / duration
@@ -127,7 +152,7 @@ type collector struct {
 	samples []float64 // latency ms of OK requests, unsorted until finish
 }
 
-func (c *collector) record(status int, d time.Duration, isKey bool, transportErr bool) {
+func (c *collector) record(status int, d time.Duration, isKey bool, transportErr bool, format string, points int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.rep.Requests++
@@ -141,6 +166,15 @@ func (c *collector) record(status int, d time.Duration, isKey bool, transportErr
 			c.rep.KeyFrames++
 		} else {
 			c.rep.NonKey++
+		}
+		switch format {
+		case "depth":
+			c.rep.DepthMaps++
+		case "cloud":
+			c.rep.Clouds++
+			if points > 0 {
+				c.rep.CloudPts += int64(points)
+			}
 		}
 	case status == http.StatusTooManyRequests:
 		c.rep.Rejected++
@@ -260,6 +294,9 @@ func RunLoadCluster(cfg LoadConfig, targets []string) (ClusterLoadReport, error)
 		agg.Transport += r.rep.Transport
 		agg.KeyFrames += r.rep.KeyFrames
 		agg.NonKey += r.rep.NonKey
+		agg.DepthMaps += r.rep.DepthMaps
+		agg.Clouds += r.rep.Clouds
+		agg.CloudPts += r.rep.CloudPts
 		all = append(all, r.samples...)
 	}
 	out.Aggregate.DurationMs = float64(elapsed) / 1e6
@@ -271,9 +308,58 @@ func RunLoadCluster(cfg LoadConfig, targets []string) (ClusterLoadReport, error)
 	return out, nil
 }
 
+// loadFormats are the response formats mixed mode cycles through.
+var loadFormats = []string{"json", "disparity", "depth", "cloud"}
+
+// scenario resolves what session i of the run does: whether its uploads are
+// raw (misaligned, server rectifies) and which response format it requests.
+func (c LoadConfig) scenario(i int) (raw bool, format string) {
+	if c.Mixed {
+		return c.Upload && i%2 == 1, loadFormats[i%len(loadFormats)]
+	}
+	return c.Raw, c.Format
+}
+
+// calibrated reports whether session i needs a camera model: raw uploads
+// (the server must rectify) or a triangulating response format.
+func (c LoadConfig) calibrated(i int) bool {
+	raw, format := c.scenario(i)
+	return raw || format == "depth" || format == "cloud"
+}
+
+// loadCalibration is the camera model load sessions use; raw sessions get
+// non-zero per-eye rotations so rectification is a real warp.
+func loadCalibration(cfg LoadConfig, raw bool) *perception.Calibration {
+	c := perception.DefaultCalibration(cfg.W, cfg.H)
+	if raw {
+		c.LeftRPY = [3]float64{0.004, -0.003, 0.002}
+		c.RightRPY = [3]float64{-0.002, 0.005, -0.003}
+	}
+	return c
+}
+
+// formatQuery maps a response format name to the frame-submission query.
+func formatQuery(format string) (string, error) {
+	switch format {
+	case "", "json":
+		return "", nil
+	case "disparity":
+		return "?disparity=pfm", nil
+	case "depth":
+		return "?depth=pfm", nil
+	case "cloud":
+		return "?cloud=bin", nil
+	default:
+		return "", fmt.Errorf("unknown response format %q (json|disparity|depth|cloud)", format)
+	}
+}
+
 func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 	cfg = cfg.withDefaults()
 	client := &http.Client{Timeout: cfg.Timeout}
+	if _, err := formatQuery(cfg.Format); err != nil {
+		return LoadReport{}, nil, err
+	}
 
 	// Pre-encode upload bodies once per session so client-side encoding
 	// cost does not pollute the measured latencies.
@@ -281,7 +367,11 @@ func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 	if cfg.Upload {
 		uploads = make([][]framePayload, cfg.Sessions)
 		for i := range uploads {
-			frames, err := encodeFrames(cfg, cfg.Seed+int64(i))
+			var misalign *perception.Calibration
+			if raw, _ := cfg.scenario(i); raw {
+				misalign = loadCalibration(cfg, true)
+			}
+			frames, err := encodeFrames(cfg, cfg.Seed+int64(i), misalign)
 			if err != nil {
 				return LoadReport{}, nil, fmt.Errorf("encoding upload frames: %w", err)
 			}
@@ -327,6 +417,9 @@ func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
+			_, format := cfg.scenario(i)
+			//asvlint:ignore droppederr cfg.Format was validated at run start; per-session formats come from loadFormats
+			query, _ := formatQuery(format)
 			for f := 0; f < cfg.Frames; f++ {
 				// A frame is attempted up to 1+Retry429 times: a 429 is
 				// real backpressure, but a camera client does not drop a
@@ -343,12 +436,12 @@ func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 						contentType = p.contentType
 					}
 					tReq := time.Now()
-					status, isKey, retryAfter, err := submitFrame(client, cfg.BaseURL, ids[i], body, contentType)
+					status, isKey, points, retryAfter, err := submitFrame(client, cfg.BaseURL, ids[i], query, body, contentType)
 					if err != nil {
-						col.record(0, 0, false, true)
+						col.record(0, 0, false, true, format, 0)
 						break
 					}
-					col.record(status, time.Since(tReq), isKey, false)
+					col.record(status, time.Since(tReq), isKey, false, format, points)
 					if status != http.StatusTooManyRequests {
 						break
 					}
@@ -388,6 +481,10 @@ func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
 		req.Frames = cfg.Frames
 		req.Seed = cfg.Seed + int64(i)
 	}
+	if cfg.calibrated(i) {
+		raw, _ := cfg.scenario(i)
+		req.Calibration = loadCalibration(cfg, raw).EncodeJSON()
+	}
 	buf, err := json.Marshal(req)
 	if err != nil {
 		return "", fmt.Errorf("encoding session request: %w", err)
@@ -412,44 +509,55 @@ func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
 	return info.ID, nil
 }
 
-// submitFrame posts one frame and parses just enough of the reply. The body
-// is always fully drained and closed — on the decode-failure and non-200
-// paths too — so the client's connection pool actually gets reuse instead
-// of leaking a connection per error.
-func submitFrame(client *http.Client, baseURL, id string, body io.Reader, contentType string) (status int, isKey bool, retryAfter time.Duration, err error) {
+// submitFrame posts one frame (query selects the response format) and
+// parses just enough of the reply: the JSON stats for the default format,
+// the X-ASV-* headers for the binary ones. The body is always fully drained
+// and closed — on the decode-failure and non-200 paths too — so the
+// client's connection pool actually gets reuse instead of leaking a
+// connection per error.
+func submitFrame(client *http.Client, baseURL, id, query string, body io.Reader, contentType string) (status int, isKey bool, points int, retryAfter time.Duration, err error) {
 	if body == nil {
 		body = bytes.NewReader(nil)
 	}
-	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions/"+id+"/frames", body)
+	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions/"+id+"/frames"+query, body)
 	if err != nil {
-		return 0, false, 0, err
+		return 0, false, 0, 0, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, 0, err
+		return 0, false, 0, 0, err
 	}
 	defer func() {
+		// Binary replies (PFM, clouds) are image-sized; drain them fully so
+		// the connection is actually reusable.
 		//asvlint:ignore droppederr best-effort drain so the connection can be reused
-		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		io.Copy(io.Discard, resp.Body)
 		//asvlint:ignore droppederr response body close error is not actionable in a load generator
 		resp.Body.Close()
 	}()
 	if resp.StatusCode == http.StatusOK {
+		if query != "" {
+			//asvlint:ignore droppederr absent/garbled header reads as false; stats only lose the key split
+			isKey, _ = strconv.ParseBool(resp.Header.Get("X-ASV-Is-Key"))
+			//asvlint:ignore droppederr header only present on cloud replies; zero is the right default
+			points, _ = strconv.Atoi(resp.Header.Get("X-ASV-Points"))
+			return resp.StatusCode, isKey, points, 0, nil
+		}
 		var fr FrameResponse
 		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
-			return resp.StatusCode, false, 0, nil // count as OK; stats only lose key split
+			return resp.StatusCode, false, 0, 0, nil // count as OK; stats only lose key split
 		}
-		return resp.StatusCode, fr.IsKey, 0, nil
+		return resp.StatusCode, fr.IsKey, 0, 0, nil
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
 			retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, false, retryAfter, nil
+	return resp.StatusCode, false, 0, retryAfter, nil
 }
 
 // framePayload is one pre-encoded multipart upload body.
@@ -459,8 +567,10 @@ type framePayload struct {
 }
 
 // encodeFrames renders a synthetic sequence and packs each stereo pair as a
-// multipart PGM upload.
-func encodeFrames(cfg LoadConfig, seed int64) ([]framePayload, error) {
+// multipart PGM upload. A non-nil misalign warps each pair off the
+// rectified frame through the calibration's per-eye rotations first —
+// simulating the raw capture a physical rig would upload.
+func encodeFrames(cfg LoadConfig, seed int64, misalign *perception.Calibration) ([]framePayload, error) {
 	scene := dataset.SceneFlowLike(cfg.W, cfg.H, cfg.Frames, seed)[0]
 	if cfg.Preset == "kitti" {
 		scene = dataset.KITTILike(cfg.W, cfg.H, 1, seed)[0]
@@ -469,12 +579,17 @@ func encodeFrames(cfg LoadConfig, seed int64) ([]framePayload, error) {
 	seq := dataset.Generate(scene)
 	out := make([]framePayload, 0, len(seq.Frames))
 	for _, fr := range seq.Frames {
+		left, right := fr.Left, fr.Right
+		if misalign != nil {
+			left = rectify.Misalign(left, misalign.Intrinsics(), misalign.RotLeft())
+			right = rectify.Misalign(right, misalign.Intrinsics(), misalign.RotRight())
+		}
 		var buf bytes.Buffer
 		mw := multipart.NewWriter(&buf)
 		for _, part := range []struct {
 			name string
 			im   *imgproc.Image
-		}{{"left", fr.Left}, {"right", fr.Right}} {
+		}{{"left", left}, {"right", right}} {
 			fw, err := mw.CreateFormFile(part.name, part.name+".pgm")
 			if err != nil {
 				return nil, err

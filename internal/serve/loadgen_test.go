@@ -170,6 +170,50 @@ func TestRunLoadCountsErrorClasses(t *testing.T) {
 	}
 }
 
+// TestRunLoadMixedScenarios drives a REAL server (not the stub) with mixed
+// raw/rectified uploads and all four response formats: with 4 sessions,
+// mixed mode gives rectified+json, raw+disparity, rectified+depth and
+// raw+cloud — every serving path in one run, no failures allowed.
+func TestRunLoadMixedScenarios(t *testing.T) {
+	_, ts := testServer(t, DefaultConfig(), 0)
+	const sessions, frames = 4, 4
+	rep, err := RunLoad(LoadConfig{
+		BaseURL: ts.URL, Sessions: sessions, Frames: frames,
+		W: 48, H: 32, PW: 2, Upload: true, Mixed: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != sessions*frames {
+		t.Fatalf("OK=%d of %d (4xx %d, 5xx %d, transport %d)",
+			rep.OK, sessions*frames, rep.Status4xx, rep.Status5xx, rep.Transport)
+	}
+	if rep.DepthMaps != frames {
+		t.Fatalf("DepthMaps=%d, want %d (one depth session)", rep.DepthMaps, frames)
+	}
+	if rep.Clouds != frames || rep.CloudPts == 0 {
+		t.Fatalf("Clouds=%d points=%d, want %d clouds with points", rep.Clouds, rep.CloudPts, frames)
+	}
+
+	// Single-format runs work against preset sessions too (the server
+	// synthesizes frames, calibration comes from the load config).
+	rep, err = RunLoad(LoadConfig{
+		BaseURL: ts.URL, Sessions: 1, Frames: 3,
+		W: 48, H: 32, PW: 2, Format: "cloud",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.OK != 3 || rep.Clouds != 3 {
+		t.Fatalf("preset cloud run: OK=%d Clouds=%d, want 3/3", rep.OK, rep.Clouds)
+	}
+
+	// An unknown format fails the run before any traffic.
+	if _, err := RunLoad(LoadConfig{BaseURL: ts.URL, Format: "stl"}); err == nil {
+		t.Fatal("unknown format accepted")
+	}
+}
+
 // TestRunLoadCluster fans the workload over two stub endpoints and checks
 // the aggregate is the sum of the per-target reports.
 func TestRunLoadCluster(t *testing.T) {

@@ -41,6 +41,7 @@ import (
 	"asv/internal/imgproc"
 	"asv/internal/metrics"
 	"asv/internal/nn"
+	"asv/internal/perception"
 	"asv/internal/stereo"
 )
 
@@ -205,6 +206,12 @@ type Server struct {
 	checkpoints       atomic.Int64
 	spillErrors       atomic.Int64
 
+	// Perception counters: depth-map and point-cloud responses served, and
+	// the total points shipped across all cloud replies.
+	depthMapsServed atomic.Int64
+	cloudsServed    atomic.Int64
+	cloudPoints     atomic.Int64
+
 	// restoreMu serializes disk restores so two concurrent misses on the
 	// same id materialize one session, not two racing copies.
 	restoreMu sync.Mutex
@@ -360,6 +367,12 @@ type CreateSessionRequest struct {
 	Seed   int64  `json:"seed,omitempty"`
 	// Postprocess enables the 3×3 validity-aware median on non-key frames.
 	Postprocess bool `json:"postprocess,omitempty"`
+	// Calibration, when present, is the session's camera model
+	// (perception.Calibration JSON: pinhole intrinsics, per-eye rotations,
+	// stereo baseline). It makes the session accept unrectified uploads —
+	// every frame is rectified server-side before matching — and unlocks
+	// the ?depth and ?cloud response formats.
+	Calibration json.RawMessage `json:"calibration,omitempty"`
 }
 
 // SessionInfo is returned by session create/get.
@@ -372,6 +385,9 @@ type SessionInfo struct {
 	Frames    int64  `json:"frames"`
 	KeyFrames int64  `json:"key_frames"`
 	IdleMs    int64  `json:"idle_ms"`
+	// Calibrated reports whether the session carries a camera model (and
+	// therefore serves depth maps and point clouds).
+	Calibrated bool `json:"calibrated,omitempty"`
 }
 
 // FrameResponse is the JSON reply to a frame submission.
@@ -481,6 +497,9 @@ func (s *Server) CountersSnapshot() map[string]any {
 		"disk_restores":     s.diskRestores.Load(),
 		"checkpoints":       s.checkpoints.Load(),
 		"spill_errors":      s.spillErrors.Load(),
+		"depth_maps_served": s.depthMapsServed.Load(),
+		"clouds_served":     s.cloudsServed.Load(),
+		"cloud_points":      s.cloudPoints.Load(),
 	}
 }
 
@@ -528,6 +547,16 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		}
 	}
 
+	var calib *perception.Calibration
+	if len(req.Calibration) > 0 {
+		c, err := perception.ParseCalibration(req.Calibration)
+		if err != nil {
+			writeError(w, http.StatusBadRequest, err.Error())
+			return
+		}
+		calib = c
+	}
+
 	cfg := s.cfg.Pipeline
 	cfg.PW = pw
 	cfg.Postprocess = req.Postprocess
@@ -536,6 +565,7 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		pw:      pw,
 		pipe:    core.New(s.matcher, cfg),
 		created: time.Now(),
+		calib:   calib,
 	}
 	sess.touch()
 
@@ -601,6 +631,7 @@ func (s *Server) info(sess *session) SessionInfo {
 	if sess.preset != nil {
 		inf.Preset = sess.preset.name
 	}
+	inf.Calibrated = sess.calib != nil
 	return inf
 }
 
@@ -644,7 +675,17 @@ func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
+	// Resolve the requested response format before admission: a bad format
+	// string (or a depth/cloud request against an uncalibrated session) is
+	// a 400 before any work is queued, not after the frame was computed.
+	format, err := parseReplyFormat(r, sess)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+
 	it := &workItem{sess: sess, enqueued: time.Now(), reply: make(chan frameReply, 1)}
+	it.wantLeft = format == formatCloudPLY || format == formatCloudPLYBin || format == formatCloudBin
 	if sess.preset == nil {
 		left, right, err := s.decodePair(r)
 		if err != nil {
@@ -697,7 +738,7 @@ func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
 			}
 			return
 		}
-		s.writeFrameReply(w, r, sess, rep)
+		s.writeFrameReply(w, sess, format, rep)
 	case <-r.Context().Done():
 		// Client went away; the worker will still complete the frame (the
 		// session state must advance) and the buffered reply is dropped.
@@ -705,30 +746,116 @@ func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// writeFrameReply renders a completed frame: JSON stats by default, the raw
-// PFM disparity map when ?disparity=pfm (stats travel in headers).
-func (s *Server) writeFrameReply(w http.ResponseWriter, r *http.Request, sess *session, rep frameReply) {
-	if r.URL.Query().Get("disparity") == "pfm" {
-		w.Header().Set("Content-Type", "application/octet-stream")
-		w.Header().Set("X-ASV-Frame", fmt.Sprint(rep.frame))
-		w.Header().Set("X-ASV-Is-Key", fmt.Sprint(rep.res.IsKey))
-		w.Header().Set("X-ASV-MACs", fmt.Sprint(rep.res.MACs))
-		if err := imgproc.WritePFM(w, rep.res.Disparity); err != nil {
-			// Headers are gone; nothing to do but drop the connection.
-			return
+// replyFormat selects how a completed frame is rendered back to the client.
+type replyFormat int
+
+const (
+	formatJSON        replyFormat = iota // per-frame stats (default)
+	formatDispPFM                        // ?disparity=pfm: raw disparity, PFM
+	formatDepthPFM                       // ?depth=pfm: metric depth, PFM
+	formatCloudPLY                       // ?cloud=ply: ASCII PLY point cloud
+	formatCloudPLYBin                    // ?cloud=plybin: binary PLY
+	formatCloudBin                       // ?cloud=bin: ASVPCD binary codec
+)
+
+// parseReplyFormat resolves the frame submission's query parameters. At most
+// one of disparity/depth/cloud may be set; depth and cloud require the
+// session to carry a calibration (triangulation needs fx and the baseline).
+func parseReplyFormat(r *http.Request, sess *session) (replyFormat, error) {
+	q := r.URL.Query()
+	disp, depth, cloud := q.Get("disparity"), q.Get("depth"), q.Get("cloud")
+	set := 0
+	for _, v := range []string{disp, depth, cloud} {
+		if v != "" {
+			set++
 		}
+	}
+	if set > 1 {
+		return formatJSON, errors.New("at most one of disparity=, depth=, cloud= may be requested")
+	}
+	format := formatJSON
+	switch {
+	case disp != "":
+		if disp != "pfm" {
+			return formatJSON, fmt.Errorf("unknown disparity format %q (want pfm)", disp)
+		}
+		format = formatDispPFM
+	case depth != "":
+		if depth != "pfm" {
+			return formatJSON, fmt.Errorf("unknown depth format %q (want pfm)", depth)
+		}
+		format = formatDepthPFM
+	case cloud != "":
+		switch cloud {
+		case "ply":
+			format = formatCloudPLY
+		case "plybin":
+			format = formatCloudPLYBin
+		case "bin":
+			format = formatCloudBin
+		default:
+			return formatJSON, fmt.Errorf("unknown cloud format %q (want ply|plybin|bin)", cloud)
+		}
+	}
+	if (format == formatDepthPFM || format >= formatCloudPLY) && sess.calib == nil {
+		return formatJSON, errors.New("depth and cloud formats require a calibrated session (create it with a calibration)")
+	}
+	return format, nil
+}
+
+// writeFrameReply renders a completed frame: JSON stats by default, or one
+// of the binary formats (stats travel in X-ASV-* headers). Depth and cloud
+// replies triangulate through the session's calibration.
+func (s *Server) writeFrameReply(w http.ResponseWriter, sess *session, format replyFormat, rep frameReply) {
+	if format == formatJSON {
+		writeJSON(w, http.StatusOK, FrameResponse{
+			Session:      sess.id,
+			Frame:        rep.frame,
+			IsKey:        rep.res.IsKey,
+			MACs:         rep.res.MACs,
+			MeanMotionPx: rep.res.MeanMotionPx,
+			Disparity:    rep.stats,
+			QueueMs:      float64(rep.queueWait) / 1e6,
+			ComputeMs:    float64(rep.compute) / 1e6,
+		})
 		return
 	}
-	writeJSON(w, http.StatusOK, FrameResponse{
-		Session:      sess.id,
-		Frame:        rep.frame,
-		IsKey:        rep.res.IsKey,
-		MACs:         rep.res.MACs,
-		MeanMotionPx: rep.res.MeanMotionPx,
-		Disparity:    rep.stats,
-		QueueMs:      float64(rep.queueWait) / 1e6,
-		ComputeMs:    float64(rep.compute) / 1e6,
-	})
+
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-ASV-Frame", fmt.Sprint(rep.frame))
+	w.Header().Set("X-ASV-Is-Key", fmt.Sprint(rep.res.IsKey))
+	w.Header().Set("X-ASV-MACs", fmt.Sprint(rep.res.MACs))
+
+	// Write failures past this point mean the client hung up; headers are
+	// gone, so there is nothing to report.
+	switch format {
+	case formatDispPFM:
+		//asvlint:ignore droppederr a short write mid-reply means the client hung up; no recovery
+		imgproc.WritePFM(w, rep.res.Disparity)
+	case formatDepthPFM:
+		s.depthMapsServed.Add(1)
+		//asvlint:ignore droppederr a short write mid-reply means the client hung up; no recovery
+		imgproc.WritePFM(w, perception.DepthMap(rep.res.Disparity, sess.calib))
+	default:
+		cl := perception.Reproject(rep.res.Disparity, rep.left, sess.calib)
+		st := cl.Stats()
+		s.cloudsServed.Add(1)
+		s.cloudPoints.Add(int64(st.Points))
+		w.Header().Set("X-ASV-Points", fmt.Sprint(st.Points))
+		w.Header().Set("X-ASV-Depth-P50", fmt.Sprint(st.P50Z))
+		w.Header().Set("X-ASV-Depth-P90", fmt.Sprint(st.P90Z))
+		switch format {
+		case formatCloudPLY:
+			//asvlint:ignore droppederr a short write mid-reply means the client hung up; no recovery
+			perception.WritePLYASCII(w, cl)
+		case formatCloudPLYBin:
+			//asvlint:ignore droppederr a short write mid-reply means the client hung up; no recovery
+			perception.WritePLYBinary(w, cl)
+		case formatCloudBin:
+			//asvlint:ignore droppederr a short write mid-reply means the client hung up; no recovery
+			w.Write(perception.EncodeCloud(cl))
+		}
+	}
 }
 
 // decodePair extracts the left/right images of a multipart upload. Each

@@ -12,6 +12,7 @@ import (
 	"asv/internal/core"
 	"asv/internal/dataset"
 	"asv/internal/imgproc"
+	"asv/internal/perception"
 )
 
 // A session owns one ISM state machine: the server runs DNN-oracle (or SGM)
@@ -38,6 +39,12 @@ type session struct {
 	// wrapping around at the end. Useful for load generation without
 	// shipping image bytes.
 	preset *presetSource
+
+	// calib, when non-nil, is the session's camera model: incoming frames
+	// are rectified through it before matching, and it unlocks the depth
+	// and point-cloud response formats. Immutable after session creation
+	// (workers read it without the run lock).
+	calib *perception.Calibration
 
 	// geoMu guards w/h: the worker pins the session's frame geometry on
 	// first use (the temporal kernels require every frame of a stream to

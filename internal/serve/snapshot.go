@@ -10,34 +10,42 @@ import (
 	"asv/internal/dataset"
 	"asv/internal/flow"
 	"asv/internal/imgproc"
+	"asv/internal/perception"
 	"asv/internal/stereo"
 )
 
-// Session snapshot wire format (version 1).
+// Session snapshot wire format (version 2).
 //
 // A snapshot is the complete, self-contained description of one serving
 // session: its ISM pipeline options (including the fixed-point switch), its
-// counters, its pinned geometry, the core.State images and — for preset
-// sessions — the scene recipe plus replay cursor (the synthetic frames are
-// regenerated on restore, not shipped). Restoring a snapshot into any
-// server running the same build resumes the stream bit-identically, which
-// is what the cluster layer's shard migration, crash recovery and
-// eviction-to-disk are built on (DESIGN.md §10).
+// counters, its pinned geometry, the core.State images, the optional camera
+// calibration and — for preset sessions — the scene recipe plus replay
+// cursor (the synthetic frames are regenerated on restore, not shipped).
+// Restoring a snapshot into any server running the same build resumes the
+// stream bit-identically, which is what the cluster layer's shard
+// migration, crash recovery and eviction-to-disk are built on (DESIGN.md
+// §10).
 //
 // Layout, all integers little-endian:
 //
 //	[7]byte  magic "ASVSNAP"
-//	uint8    version (1)
-//	...      version-1 payload (see encode below)
+//	uint8    version (2)
+//	...      version-2 payload (see encode below)
 //	uint32   IEEE CRC32 of everything before it (magic included)
 //
 // The format is strictly versioned: a decoder refuses unknown versions and
 // any structural damage (truncation, bad lengths, oversized images,
 // trailing bytes, CRC mismatch) with a *SnapshotError — never a panic —
 // because snapshot bytes cross trust boundaries (disk, peer shards).
+//
+// Version history: v1 had no calibration block; v2 appends one (presence
+// byte + 11 float64 fields) after the preset block. Decoders refuse other
+// versions outright — a v1 snapshot cannot distinguish "uncalibrated" from
+// "calibration lost", so it is rejected rather than silently upgraded
+// (testdata/snapshot_v1.asvsnap pins that behavior).
 
 // SnapshotVersion is the wire-format version this build writes.
-const SnapshotVersion = 1
+const SnapshotVersion = 2
 
 const snapshotMagic = "ASVSNAP"
 
@@ -83,6 +91,11 @@ type SessionSnapshot struct {
 	// scene recipe and the replay cursor. The frames themselves are
 	// regenerated deterministically on restore.
 	Preset *PresetSnapshot
+
+	// Calib, when non-nil, is the session's camera model. It must migrate
+	// with the session: a restored session keeps rectifying uploads and
+	// serving depth/cloud formats exactly as the source shard did.
+	Calib *perception.Calibration
 }
 
 // PresetSnapshot is the serialized form of a preset frame source.
@@ -183,6 +196,24 @@ func EncodeSnapshot(snap *SessionSnapshot) []byte {
 		e.f64(sc.RightGain)
 		e.i64(sc.Seed)
 		e.i64(snap.Preset.Next)
+	} else {
+		e.u8(0)
+	}
+
+	if snap.Calib != nil {
+		e.u8(1)
+		c := snap.Calib
+		e.f64(c.Fx)
+		e.f64(c.Fy)
+		e.f64(c.Cx)
+		e.f64(c.Cy)
+		e.f64(c.BaselineM)
+		for _, a := range c.LeftRPY {
+			e.f64(a)
+		}
+		for _, a := range c.RightRPY {
+			e.f64(a)
+		}
 	} else {
 		e.u8(0)
 	}
@@ -520,6 +551,43 @@ func DecodeSnapshot(data []byte, maxPixels int) (*SessionSnapshot, error) {
 				ps.Scene.W, ps.Scene.H, ps.Scene.FrameCount, ps.Scene.MinDisp, ps.Scene.MaxDisp)
 		}
 		snap.Preset = ps
+	}
+
+	hasCalib, err := d.bool("calibration presence")
+	if err != nil {
+		return nil, err
+	}
+	if hasCalib {
+		c := &perception.Calibration{}
+		if c.Fx, err = d.f64("calibration fx"); err != nil {
+			return nil, err
+		}
+		if c.Fy, err = d.f64("calibration fy"); err != nil {
+			return nil, err
+		}
+		if c.Cx, err = d.f64("calibration cx"); err != nil {
+			return nil, err
+		}
+		if c.Cy, err = d.f64("calibration cy"); err != nil {
+			return nil, err
+		}
+		if c.BaselineM, err = d.f64("calibration baseline"); err != nil {
+			return nil, err
+		}
+		for i := range c.LeftRPY {
+			if c.LeftRPY[i], err = d.f64("calibration left rpy"); err != nil {
+				return nil, err
+			}
+		}
+		for i := range c.RightRPY {
+			if c.RightRPY[i], err = d.f64("calibration right rpy"); err != nil {
+				return nil, err
+			}
+		}
+		if err := c.Validate(); err != nil {
+			return nil, snapErrf("%v", err)
+		}
+		snap.Calib = c
 	}
 
 	if d.pos != len(body) {

@@ -10,12 +10,14 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 	"testing"
 	"time"
 
 	"asv/internal/core"
 	"asv/internal/dataset"
 	"asv/internal/imgproc"
+	"asv/internal/perception"
 )
 
 // getSnapshot fetches a session's snapshot, retrying briefly on 409: the
@@ -277,8 +279,15 @@ func FuzzSnapshotDecode(f *testing.F) {
 		BM:   DefaultConfig().Pipeline.BM,
 		Flow: DefaultConfig().Pipeline.Flow,
 	})
+	calibrated := EncodeSnapshot(&SessionSnapshot{
+		ID: "seed3", PW: 2,
+		BM:    DefaultConfig().Pipeline.BM,
+		Flow:  DefaultConfig().Pipeline.Flow,
+		Calib: perception.DefaultCalibration(32, 24),
+	})
 	f.Add(full)
 	f.Add(fresh)
+	f.Add(calibrated)
 	f.Add(full[:len(full)/2])
 	f.Add([]byte(snapshotMagic))
 	f.Add([]byte{})
@@ -298,6 +307,48 @@ func FuzzSnapshotDecode(f *testing.F) {
 			t.Fatalf("re-encoded accepted snapshot fails to decode: %v", err)
 		}
 	})
+}
+
+// TestSnapshotVersionCompat pins the codec's cross-version behavior: a
+// version-1 snapshot (committed fixture, generated by the v1 encoder before
+// the calibration block was added) must be refused with a typed
+// *SnapshotError naming the version — not mis-parsed, not silently
+// upgraded. The fixture is bytes-on-disk so this keeps guarding even after
+// the v1 encoder is long gone.
+func TestSnapshotVersionCompat(t *testing.T) {
+	old, err := os.ReadFile(filepath.Join("testdata", "snapshot_v1.asvsnap"))
+	if err != nil {
+		t.Fatalf("reading v1 fixture: %v", err)
+	}
+	// Fixture sanity: correct magic, version byte 1.
+	if string(old[:7]) != snapshotMagic || old[7] != 1 {
+		t.Fatalf("fixture is not a v1 snapshot (magic %q version %d)", old[:7], old[7])
+	}
+	_, err = DecodeSnapshot(old, 0)
+	var se *SnapshotError
+	if err == nil || !errors.As(err, &se) {
+		t.Fatalf("v1 snapshot: err=%v, want *SnapshotError", err)
+	}
+	if !strings.Contains(err.Error(), "unsupported version 1") {
+		t.Fatalf("v1 rejection %q does not name the version", err)
+	}
+
+	// And the current version still round-trips, calibration included.
+	calib := perception.DefaultCalibration(32, 24)
+	calib.LeftRPY = [3]float64{0.01, -0.02, 0.005}
+	snap := &SessionSnapshot{
+		ID: "v2-rt", PW: 2,
+		BM:    DefaultConfig().Pipeline.BM,
+		Flow:  DefaultConfig().Pipeline.Flow,
+		Calib: calib,
+	}
+	got, err := DecodeSnapshot(EncodeSnapshot(snap), 0)
+	if err != nil {
+		t.Fatalf("v2 round trip: %v", err)
+	}
+	if got.Calib == nil || *got.Calib != *calib {
+		t.Fatalf("calibration did not survive the round trip: %+v", got.Calib)
+	}
 }
 
 // TestEvictionSpillsAndRestores proves eviction-to-disk: an LRU-evicted

@@ -64,6 +64,10 @@ func (s *Server) snapshotLocked(sess *session) *SessionSnapshot {
 			Next:  int64(sess.preset.next),
 		}
 	}
+	if sess.calib != nil {
+		c := *sess.calib
+		snap.Calib = &c
+	}
 	return snap
 }
 
@@ -118,6 +122,10 @@ func (s *Server) sessionFromSnapshot(snap *SessionSnapshot) (*session, error) {
 			seq:  dataset.Generate(snap.Preset.Scene),
 			next: int(snap.Preset.Next),
 		}
+	}
+	if snap.Calib != nil {
+		c := *snap.Calib
+		sess.calib = &c
 	}
 	sess.touch()
 	return sess, nil

@@ -69,20 +69,40 @@ requests=$(jq -r '.requests' "$workdir/report.json")
 ok=$(jq -r '.ok' "$workdir/report.json")
 [ "$ok" = 48 ] || { echo "cluster-smoke: expected 48 ok, got $ok of $requests" >&2; exit 1; }
 
+# A calibrated session rides along: it must hash onto a shard, carry its
+# calibration through a drain migration like any other session, and keep
+# serving metric depth afterwards.
+cat >"$workdir/create.json" <<'EOF'
+{"pw": 2, "preset": "sceneflow", "w": 48, "h": 32, "frames": 12, "seed": 3,
+ "calibration": {"fx": 48, "fy": 48, "cx": 24, "cy": 16, "baseline_m": 0.12,
+                 "left_rpy": [0.004, -0.003, 0.002],
+                 "right_rpy": [-0.002, 0.005, -0.003]}}
+EOF
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d @"$workdir/create.json" "http://$gw/v1/sessions" >"$workdir/calsession.json"
+calsid=$(jq -r '.id' "$workdir/calsession.json")
+[ "$(jq -r '.calibrated' "$workdir/calsession.json")" = true ] || {
+    echo "cluster-smoke: calibrated session not reported calibrated" >&2
+    cat "$workdir/calsession.json" >&2
+    exit 1
+}
+echo "cluster-smoke: calibrated session $calsid"
+
 # Every session lives on exactly one shard (the ring's affinity contract);
 # the split itself is whatever the hash says for these random ids.
 n0=$(curl -sf "http://$addr0/v1/sessions" | jq '.sessions | length')
 n1=$(curl -sf "http://$addr1/v1/sessions" | jq '.sessions | length')
 echo "cluster-smoke: shard split $n0/$n1"
-[ $((n0 + n1)) = 6 ] || {
-    echo "cluster-smoke: cluster holds $((n0 + n1)) sessions, created 6" >&2
+[ $((n0 + n1)) = 7 ] || {
+    echo "cluster-smoke: cluster holds $((n0 + n1)) sessions, created 7" >&2
     exit 1
 }
 
-# Drain the busier shard through the gateway: its sessions must migrate
-# (snapshot -> restore) onto the other with none failed, and the survivors
-# must keep serving every stream.
-if [ "$n0" -ge "$n1" ]; then
+# Drain the shard owning the calibrated session through the gateway: its
+# sessions — the calibrated one included — must migrate (snapshot ->
+# restore) onto the other with none failed, and the survivors must keep
+# serving every stream.
+if curl -sf "http://$addr0/v1/sessions" | jq -r '.sessions[].id' | grep -qx "$calsid"; then
     victim=s0 victim_owned=$n0 survivor_addr=$addr1
 else
     victim=s1 victim_owned=$n1 survivor_addr=$addr0
@@ -100,8 +120,8 @@ failed=$(echo "$drain" | jq -r '.failed // {} | length')
 # After the drain every session lives on the survivor, and one more frame
 # per session through the gateway must serve from migrated state.
 survivor_ids=$(curl -sf "http://$survivor_addr/v1/sessions" | jq -r '.sessions[].id')
-[ "$(echo "$survivor_ids" | grep -c .)" = 6 ] || {
-    echo "cluster-smoke: survivor does not hold all 6 sessions after drain" >&2
+[ "$(echo "$survivor_ids" | grep -c .)" = 7 ] || {
+    echo "cluster-smoke: survivor does not hold all 7 sessions after drain" >&2
     exit 1
 }
 for id in $survivor_ids; do
@@ -112,6 +132,20 @@ for id in $survivor_ids; do
     }
 done
 
+# The migrated calibration must still be attached: a metric-depth frame on
+# the calibrated session has to serve PFM from wherever it lives now.
+code=$(curl -s -o "$workdir/depth.dat" -w '%{http_code}' \
+    -X POST "http://$gw/v1/sessions/$calsid/frames?depth=pfm")
+[ "$code" = 200 ] || {
+    echo "cluster-smoke: post-drain depth frame returned $code" >&2
+    cat "$workdir/depth.dat" >&2
+    exit 1
+}
+[ "$(head -c 2 "$workdir/depth.dat")" = "Pf" ] || {
+    echo "cluster-smoke: post-drain depth reply is not PFM" >&2
+    exit 1
+}
+
 kill -TERM "$gate_pid"
 wait "$gate_pid" || { echo "cluster-smoke: gateway exited non-zero" >&2; cat "$workdir/gate.log" >&2; exit 1; }
 for p in $shard0_pid $shard1_pid; do
@@ -119,4 +153,4 @@ for p in $shard0_pid $shard1_pid; do
     wait "$p" || { echo "cluster-smoke: a shard exited non-zero after SIGTERM" >&2; cat "$workdir"/shard*.log >&2; exit 1; }
 done
 pids=""
-echo "cluster-smoke: OK (48 ok through gateway, $migrated sessions migrated off $victim, clean shutdown)"
+echo "cluster-smoke: OK (48 ok through gateway, $migrated sessions migrated off $victim incl. calibrated, clean shutdown)"

@@ -1,0 +1,100 @@
+#!/bin/sh
+# End-to-end smoke test of the 3D perception path, as run by CI.
+#
+# Renders a RAW (misaligned) stereo sequence plus its calibration with
+# asvgen, boots asvserve, opens a calibrated session from that
+# calibration.json, and uploads the raw pairs: the server must rectify
+# in-serving and answer with a well-formed ASCII PLY point cloud (with
+# point-count and depth-percentile headers) and a PFM metric depth map.
+# Finally the server must drain cleanly on SIGTERM.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+
+go build -o "$workdir/asvserve" ./cmd/asvserve
+go build -o "$workdir/asvgen" ./cmd/asvgen
+
+"$workdir/asvgen" -raw -out "$workdir/raw" -frames 2 -w 64 -h 48 \
+    -preset sceneflow -seed 11 >/dev/null
+[ -s "$workdir/raw/calibration.json" ] || {
+    echo "perception-smoke: asvgen -raw wrote no calibration.json" >&2
+    exit 1
+}
+
+"$workdir/asvserve" -addr 127.0.0.1:0 -portfile "$workdir/port" \
+    -workers 2 -queue 32 -pw 2 >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+i=0
+while [ ! -s "$workdir/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "perception-smoke: server never wrote its portfile" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/port")
+echo "perception-smoke: server at $addr"
+
+# A calibrated session: the create request embeds the rig calibration the
+# generator misaligned the views with.
+jq -n --slurpfile cal "$workdir/raw/calibration.json" \
+    '{pw: 2, calibration: $cal[0]}' >"$workdir/create.json"
+curl -sf -X POST -H 'Content-Type: application/json' \
+    -d @"$workdir/create.json" "http://$addr/v1/sessions" >"$workdir/session.json"
+sid=$(jq -r '.id' "$workdir/session.json")
+[ "$(jq -r '.calibrated' "$workdir/session.json")" = true ] || {
+    echo "perception-smoke: session does not report calibrated" >&2
+    cat "$workdir/session.json" >&2
+    exit 1
+}
+echo "perception-smoke: calibrated session $sid"
+
+# Frame 0 as an ASCII PLY point cloud.
+curl -sf -D "$workdir/cloud.hdr" -o "$workdir/cloud.ply" \
+    -F "left=@$workdir/raw/left_000.pgm" -F "right=@$workdir/raw/right_000.pgm" \
+    "http://$addr/v1/sessions/$sid/frames?cloud=ply"
+[ "$(head -c 3 "$workdir/cloud.ply")" = "ply" ] || {
+    echo "perception-smoke: cloud reply is not PLY" >&2
+    head -c 120 "$workdir/cloud.ply" >&2
+    exit 1
+}
+points=$(tr -d '\r' <"$workdir/cloud.hdr" | awk -F': ' 'tolower($1)=="x-asv-points"{print $2}')
+awk -v p="${points:-0}" 'BEGIN{exit !(p + 0 > 0)}' || {
+    echo "perception-smoke: X-ASV-Points missing or zero (got '${points:-}')" >&2
+    cat "$workdir/cloud.hdr" >&2
+    exit 1
+}
+p50=$(tr -d '\r' <"$workdir/cloud.hdr" | awk -F': ' 'tolower($1)=="x-asv-depth-p50"{print $2}')
+[ -n "$p50" ] || {
+    echo "perception-smoke: X-ASV-Depth-P50 header missing" >&2
+    exit 1
+}
+
+# Frame 1 as a metric depth map (PFM).
+curl -sf -o "$workdir/depth.dat" \
+    -F "left=@$workdir/raw/left_001.pgm" -F "right=@$workdir/raw/right_001.pgm" \
+    "http://$addr/v1/sessions/$sid/frames?depth=pfm"
+[ "$(head -c 2 "$workdir/depth.dat")" = "Pf" ] || {
+    echo "perception-smoke: depth reply is not PFM" >&2
+    head -c 120 "$workdir/depth.dat" >&2
+    exit 1
+}
+
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    echo "perception-smoke: server exited non-zero after SIGTERM" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+fi
+server_pid=""
+grep -q drained "$workdir/server.log" || {
+    echo "perception-smoke: no drain confirmation in server log" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+echo "perception-smoke: OK ($points cloud points, depth p50 ${p50} m, clean drain)"
