@@ -25,7 +25,7 @@ FUZZ_TARGETS := \
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate eval-json serve-smoke cluster-smoke perception-smoke fmt fmt-check vet lint lint-fix check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate eval-json serve-smoke cluster-smoke perception-smoke fmt fmt-check vet lint lint-fix perf-gate check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -99,9 +99,20 @@ lint:
 	go run ./cmd/asvlint ./...
 
 # Format the tree, then show what asvlint still wants, grouped by rule.
+# The lint step's exit status is propagated: a dirty tree must fail the
+# target, not just print.
 lint-fix:
 	gofmt -w .
-	go run ./cmd/asvlint -group ./... || true
+	go run ./cmd/asvlint -group ./...
+
+# Compiler-diagnostics gate for the fixed-point kernels: rebuild
+# internal/stereo with escape/inline/bounds-check diagnostics and compare
+# per-function counts against internal/stereo/perf_contract.json. The fresh
+# parsed report is left for CI to upload. After an intentional kernel
+# change, regenerate the contract with
+# `go run ./cmd/asvlint -perf -perf-update`.
+perf-gate:
+	go run ./cmd/asvlint -perf -perf-json PERF_stereo.fresh.json
 
 # Run every native fuzz target briefly (seed corpus + ~10s of new inputs
 # each); any crasher fails the build.
@@ -121,4 +132,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet lint fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke perception-smoke cover kernels-gate
+check: build vet lint perf-gate fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke perception-smoke cover kernels-gate

@@ -31,6 +31,30 @@ func TestRunBadFlag(t *testing.T) {
 	}
 }
 
+// A clean module under -json must print exactly the empty JSON array — the
+// machine-readable contract consumers rely on.
+func TestRunJSONModuleClean(t *testing.T) {
+	if testing.Short() {
+		t.Skip("module-wide lint run skipped in -short mode")
+	}
+	wd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		if err := os.Chdir(wd); err != nil {
+			t.Fatal(err)
+		}
+	}()
+	var out, errb bytes.Buffer
+	if code := run([]string{"-json", "./..."}, &out, &errb); code != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout:\n%s\nstderr:\n%s", code, out.String(), errb.String())
+	}
+	if out.String() != "[]\n" {
+		t.Fatalf("stdout = %q, want empty JSON array", out.String())
+	}
+}
+
 // TestRunModuleClean is the end-to-end path `make lint` exercises: load the
 // whole module and require zero findings. Module-wide type-checking through
 // the source importer takes a few seconds, so -short skips it.

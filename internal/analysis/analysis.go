@@ -17,10 +17,12 @@
 package analysis
 
 import (
+	"encoding/json"
 	"fmt"
 	"go/ast"
 	"go/token"
 	"go/types"
+	"io"
 	"sort"
 	"strings"
 )
@@ -47,6 +49,32 @@ func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: [%s] %s", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Rule, d.Msg)
 }
 
+// jsonDiagnostic is the stable machine-readable finding shape emitted by
+// asvlint -json: {file,line,col,rule,msg}, one object per finding. Field
+// names are part of the tool's interface; extend, don't rename.
+type jsonDiagnostic struct {
+	File string `json:"file"`
+	Line int    `json:"line"`
+	Col  int    `json:"col"`
+	Rule string `json:"rule"`
+	Msg  string `json:"msg"`
+}
+
+// WriteJSON writes findings as an indented JSON array (never null: zero
+// findings encode as []), in the order given.
+func WriteJSON(w io.Writer, diags []Diagnostic) error {
+	out := make([]jsonDiagnostic, 0, len(diags))
+	for _, d := range diags {
+		out = append(out, jsonDiagnostic{
+			File: d.Pos.Filename, Line: d.Pos.Line, Col: d.Pos.Column,
+			Rule: d.Rule, Msg: d.Msg,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
 // Analyzer names one rule and the function that checks it.
 type Analyzer struct {
 	Name string
@@ -65,6 +93,9 @@ func All() []*Analyzer {
 		AnalyzerAtomicAlign,
 		AnalyzerArchLayer,
 		AnalyzerFixedInt,
+		AnalyzerLockBalance,
+		AnalyzerWGBalance,
+		AnalyzerSendBlock,
 	}
 }
 
@@ -95,6 +126,10 @@ func ByName(list string) ([]*Analyzer, error) {
 
 // Run applies the analyzers to the pass, filters findings suppressed by
 // //asvlint:ignore directives, and returns the remainder sorted by position.
+// A directive that suppressed nothing is itself reported (rule
+// "staleignore") when every rule it names was among the analyzers run —
+// stale suppressions otherwise outlive the code they excused and silently
+// mask the next real finding on that line.
 func Run(p *Pass, analyzers []*Analyzer) []Diagnostic {
 	ign, bad := ignoreIndex(p)
 	var out []Diagnostic
@@ -105,6 +140,28 @@ func Run(p *Pass, analyzers []*Analyzer) []Diagnostic {
 				continue
 			}
 			out = append(out, d)
+		}
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	wildcardOK := len(analyzers) >= len(All())
+	for _, dir := range ign.directives {
+		if dir.hit {
+			continue
+		}
+		checkable := true
+		for r := range dir.rules {
+			if r == "*" {
+				checkable = checkable && wildcardOK
+			} else {
+				checkable = checkable && ran[r]
+			}
+		}
+		if checkable {
+			out = append(out, Diagnostic{Pos: dir.pos, Rule: "staleignore",
+				Msg: fmt.Sprintf("ignore directive for %s suppresses nothing; remove it or tighten its rule list", dir.ruleList)})
 		}
 	}
 	sort.Slice(out, func(i, j int) bool {
@@ -128,22 +185,39 @@ func (p *Pass) diag(pos token.Pos, rule, format string, args ...any) Diagnostic 
 	return Diagnostic{Pos: p.Fset.Position(pos), Rule: rule, Msg: fmt.Sprintf(format, args...)}
 }
 
-// ignores maps file -> line -> set of suppressed rule names. A directive on
-// line N suppresses findings on lines N and N+1, so it can sit on its own
-// line above the flagged statement or at the end of it.
-type ignores map[string]map[int]map[string]bool
+// ignoreDirective is one //asvlint:ignore comment. A directive on line N
+// suppresses matching findings on lines N and N+1, so it can sit on its own
+// line above the flagged statement or at the end of it; hit records whether
+// it ever suppressed anything, feeding the staleignore check.
+type ignoreDirective struct {
+	pos      token.Position
+	rules    map[string]bool
+	ruleList string // the literal rule list, for the staleignore message
+	hit      bool
+}
 
-func (ig ignores) suppressed(d Diagnostic) bool {
-	lines := ig[d.Pos.Filename]
+// ignores indexes the pass's directives by file and line for suppression
+// lookups, keeping the flat directive list for the staleness sweep.
+type ignores struct {
+	byLine     map[string]map[int][]*ignoreDirective
+	directives []*ignoreDirective
+}
+
+func (ig *ignores) suppressed(d Diagnostic) bool {
+	lines := ig.byLine[d.Pos.Filename]
 	if lines == nil {
 		return false
 	}
+	ok := false
 	for _, ln := range []int{d.Pos.Line, d.Pos.Line - 1} {
-		if rules := lines[ln]; rules != nil && (rules[d.Rule] || rules["*"]) {
-			return true
+		for _, dir := range lines[ln] {
+			if dir.rules[d.Rule] || dir.rules["*"] {
+				dir.hit = true
+				ok = true
+			}
 		}
 	}
-	return false
+	return ok
 }
 
 const ignorePrefix = "//asvlint:ignore"
@@ -151,8 +225,8 @@ const ignorePrefix = "//asvlint:ignore"
 // ignoreIndex scans the pass's comments for //asvlint:ignore directives.
 // Directives without a rule list or without a reason are reported as
 // findings themselves (rule "directive") so suppressions stay auditable.
-func ignoreIndex(p *Pass) (ignores, []Diagnostic) {
-	ig := ignores{}
+func ignoreIndex(p *Pass) (*ignores, []Diagnostic) {
+	ig := &ignores{byLine: map[string]map[int][]*ignoreDirective{}}
 	var bad []Diagnostic
 	for _, f := range p.Files {
 		for _, cg := range f.Comments {
@@ -168,19 +242,17 @@ func ignoreIndex(p *Pass) (ignores, []Diagnostic) {
 					continue
 				}
 				pos := p.Fset.Position(c.Pos())
-				lines := ig[pos.Filename]
-				if lines == nil {
-					lines = map[int]map[string]bool{}
-					ig[pos.Filename] = lines
-				}
-				rules := lines[pos.Line]
-				if rules == nil {
-					rules = map[string]bool{}
-					lines[pos.Line] = rules
-				}
+				dir := &ignoreDirective{pos: pos, rules: map[string]bool{}, ruleList: fields[0]}
 				for _, r := range strings.Split(fields[0], ",") {
-					rules[strings.TrimSpace(r)] = true
+					dir.rules[strings.TrimSpace(r)] = true
 				}
+				lines := ig.byLine[pos.Filename]
+				if lines == nil {
+					lines = map[int][]*ignoreDirective{}
+					ig.byLine[pos.Filename] = lines
+				}
+				lines[pos.Line] = append(lines[pos.Line], dir)
+				ig.directives = append(ig.directives, dir)
 			}
 		}
 	}

@@ -1,6 +1,7 @@
 package analysis
 
 import (
+	"bytes"
 	"fmt"
 	"go/ast"
 	"go/parser"
@@ -131,6 +132,19 @@ func TestArchLayerFixture(t *testing.T) {
 	runFixture(t, fixtureDir(t, "archlayer"), "asv/internal/analysis/testdata/archlayer", All())
 }
 
+func TestLockBalanceFixture(t *testing.T) {
+	// Loaded as internal/cluster so the package-scoped rule applies.
+	runFixture(t, fixtureDir(t, "lockbalance"), "asv/internal/cluster", All())
+}
+
+func TestWGBalanceFixture(t *testing.T) {
+	runFixture(t, fixtureDir(t, "wgbalance"), "asv/internal/analysis/testdata/wgbalance", All())
+}
+
+func TestSendBlockFixture(t *testing.T) {
+	runFixture(t, fixtureDir(t, "sendblock"), "asv/internal/analysis/testdata/sendblock", All())
+}
+
 // The archlayer rule must not fire inside the one subtree that is allowed
 // to import the concrete models: the same fixture loaded as an
 // internal/backend package produces no findings.
@@ -158,12 +172,23 @@ func TestPackageScopedRulesAreSilentElsewhere(t *testing.T) {
 	}{
 		{"golocked", []*Analyzer{AnalyzerGoLocked}},
 		{"detgolden", []*Analyzer{AnalyzerDetGolden}},
+		{"lockbalance", []*Analyzer{AnalyzerLockBalance}},
 	} {
 		pass, err := loader.LoadDir(fixtureDir(t, tc.fixture), "asv/internal/analysis/testdata/"+tc.fixture)
 		if err != nil {
 			t.Fatalf("loading %s: %v", tc.fixture, err)
 		}
-		if diags := Run(pass, tc.rules); len(diags) != 0 {
+		var diags []Diagnostic
+		for _, d := range Run(pass, tc.rules) {
+			// Under this deliberately wrong import path the fixture's own
+			// ignore directives legitimately suppress nothing, so the
+			// staleignore sweep fires on them; only the scoped rule itself
+			// must stay silent.
+			if d.Rule != "staleignore" {
+				diags = append(diags, d)
+			}
+		}
+		if len(diags) != 0 {
 			t.Errorf("%s fired outside its target packages: %v", tc.fixture, diags)
 		}
 	}
@@ -197,6 +222,85 @@ func TestMalformedIgnoreDirectiveIsAFinding(t *testing.T) {
 	diags = Run(p, nil)
 	if len(diags) != 1 || diags[0].Rule != "directive" {
 		t.Fatalf("reason-less directive should be a finding, got %v", diags)
+	}
+}
+
+func TestStaleIgnoreDirectiveIsAFinding(t *testing.T) {
+	const src = "package snippet\n\nfunc f() int {\n\t//asvlint:ignore droppederr nothing here returns an error\n\treturn 1\n}\n"
+	diags := Run(parseSnippet(t, src), All())
+	if len(diags) != 1 || diags[0].Rule != "staleignore" || diags[0].Pos.Line != 4 {
+		t.Fatalf("want one staleignore finding at line 4, got %v", diags)
+	}
+
+	// With a rule subset that does not include the directive's rule the
+	// directive is unverifiable, so the sweep must stay silent.
+	subset, err := ByName("poolpair")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if diags := Run(parseSnippet(t, src), subset); len(diags) != 0 {
+		t.Fatalf("staleignore fired for a rule that did not run: %v", diags)
+	}
+
+	// A wildcard directive is only verifiable against the full set.
+	const wild = "package snippet\n\nfunc f() int {\n\t//asvlint:ignore * transitional suppression\n\treturn 1\n}\n"
+	if diags := Run(parseSnippet(t, wild), All()); len(diags) != 1 || diags[0].Rule != "staleignore" {
+		t.Fatalf("want one staleignore finding for the wildcard, got %v", diags)
+	}
+	if diags := Run(parseSnippet(t, wild), subset); len(diags) != 0 {
+		t.Fatalf("wildcard staleness should not be judged from a subset run: %v", diags)
+	}
+}
+
+func TestLiveIgnoreDirectiveIsNotStale(t *testing.T) {
+	const src = "package snippet\n\n" +
+		"func mk() error { return nil }\n\n" +
+		"func f() {\n" +
+		"\t//asvlint:ignore droppederr the result is irrelevant in this test helper\n" +
+		"\tmk()\n" +
+		"}\n"
+	if diags := Run(parseSnippet(t, src), All()); len(diags) != 0 {
+		t.Fatalf("directive suppressing a real finding was reported: %v", diags)
+	}
+}
+
+// The -json output schema ({file,line,col,rule,msg}) is an interface other
+// tooling parses; this golden test pins it.
+func TestWriteJSONGoldenSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	if got := buf.String(); got != "[]\n" {
+		t.Fatalf("empty findings = %q, want []", got)
+	}
+	buf.Reset()
+	diags := []Diagnostic{
+		{Pos: token.Position{Filename: "internal/serve/server.go", Line: 12, Column: 3}, Rule: "lockbalance", Msg: "Lock of s.mu is not released on every path to return/panic"},
+		{Pos: token.Position{Filename: "internal/stereo/sad_fixed.go", Line: 40, Column: 2}, Rule: "fixedint", Msg: "float arithmetic in a *_fixed.go kernel"},
+	}
+	if err := WriteJSON(&buf, diags); err != nil {
+		t.Fatal(err)
+	}
+	const want = `[
+  {
+    "file": "internal/serve/server.go",
+    "line": 12,
+    "col": 3,
+    "rule": "lockbalance",
+    "msg": "Lock of s.mu is not released on every path to return/panic"
+  },
+  {
+    "file": "internal/stereo/sad_fixed.go",
+    "line": 40,
+    "col": 2,
+    "rule": "fixedint",
+    "msg": "float arithmetic in a *_fixed.go kernel"
+  }
+]
+`
+	if got := buf.String(); got != want {
+		t.Fatalf("schema drifted:\ngot:\n%s\nwant:\n%s", got, want)
 	}
 }
 

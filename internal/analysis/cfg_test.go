@@ -1,0 +1,317 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// buildFuncCFG parses one function declaration and builds its CFG.
+func buildFuncCFG(t *testing.T, body string) *CFG {
+	t.Helper()
+	src := "package p\n\nfunc g() bool { return false }\nfunc h() bool { return false }\n" + body
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "cfg.go", src, parser.SkipObjectResolution)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	for _, d := range f.Decls {
+		if fd, ok := d.(*ast.FuncDecl); ok && fd.Name.Name == "f" {
+			return BuildCFG(fd.Body)
+		}
+	}
+	t.Fatal("no func f in snippet")
+	return nil
+}
+
+// The builder's structural contract, pinned shape by shape: each case is one
+// control construct and the exact block/edge graph it must produce. Dump
+// renders blocks in creation order, so these strings also pin the builder's
+// block numbering, which the analyzer tests rely on being deterministic.
+func TestBuildCFGShapes(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "if-else",
+			src: `func f(a bool) {
+	x := 1
+	if a {
+		x = 2
+	} else {
+		x = 3
+	}
+	_ = x
+}`,
+			want: `
+b0 entry -> b1 b3
+b1 if.then -> b2
+b2 if.done -> b4
+b3 if.else -> b2
+b4 exit`,
+		},
+		{
+			name: "if-both-branches-return",
+			src: `func f(a bool) int {
+	if a {
+		return 1
+	}
+	return 0
+}`,
+			want: `
+b0 entry -> b1 b2
+b1 if.then -> b3
+b2 if.done -> b3
+b3 exit`,
+		},
+		{
+			name: "for-three-clause",
+			src: `func f() {
+	for i := 0; i < 3; i++ {
+		g()
+	}
+}`,
+			want: `
+b0 entry -> b1
+b1 for.head -> b2 b3
+b2 for.body -> b4
+b3 for.done -> b5
+b4 for.post -> b1
+b5 exit`,
+		},
+		{
+			name: "for-infinite-with-break",
+			src: `func f() {
+	for {
+		if g() {
+			break
+		}
+	}
+}`,
+			want: `
+b0 entry -> b1
+b1 for.head -> b2
+b2 for.body -> b4 b5
+b3 for.done -> b6
+b4 if.then -> b3
+b5 if.done -> b1
+b6 exit`,
+		},
+		{
+			name: "range",
+			src: `func f(ch chan int) {
+	for v := range ch {
+		_ = v
+	}
+}`,
+			want: `
+b0 entry -> b1
+b1 range.head -> b2 b3
+b2 range.body -> b1
+b3 range.done -> b4
+b4 exit`,
+		},
+		{
+			name: "switch-fallthrough-default",
+			src: `func f(x int) {
+	switch x {
+	case 1:
+		g()
+		fallthrough
+	case 2:
+		g()
+	default:
+		g()
+	}
+	g()
+}`,
+			want: `
+b0 entry -> b2 b3 b4
+b1 switch.done -> b5
+b2 switch.case -> b3
+b3 switch.case -> b1
+b4 switch.default -> b1
+b5 exit`,
+		},
+		{
+			name: "switch-no-default-falls-past",
+			src: `func f(x int) {
+	switch x {
+	case 1:
+		g()
+	}
+}`,
+			want: `
+b0 entry -> b2 b1
+b1 switch.done -> b3
+b2 switch.case -> b1
+b3 exit`,
+		},
+		{
+			name: "select",
+			src: `func f(a, b chan int) {
+	select {
+	case v := <-a:
+		_ = v
+	case b <- 1:
+	default:
+	}
+}`,
+			want: `
+b0 entry -> b2 b3 b4
+b1 select.done -> b5
+b2 select.case -> b1
+b3 select.case -> b1
+b4 select.default -> b1
+b5 exit`,
+		},
+		{
+			name: "goto-backward",
+			src: `func f() {
+	i := 0
+retry:
+	i++
+	if i < 3 {
+		goto retry
+	}
+}`,
+			want: `
+b0 entry -> b1
+b1 label.retry -> b2 b3
+b2 if.then -> b1
+b3 if.done -> b4
+b4 exit`,
+		},
+		{
+			name: "labeled-break",
+			src: `func f() {
+outer:
+	for {
+		for {
+			break outer
+		}
+	}
+	g()
+}`,
+			want: `
+b0 entry -> b1
+b1 label.outer -> b2
+b2 for.head -> b3
+b3 for.body -> b5
+b4 for.done -> b8
+b5 for.head -> b6
+b6 for.body -> b4
+b7 for.done -> b2
+b8 exit`,
+		},
+		{
+			name: "labeled-continue",
+			src: `func f() {
+outer:
+	for i := 0; i < 3; i++ {
+		for {
+			continue outer
+		}
+	}
+}`,
+			want: `
+b0 entry -> b1
+b1 label.outer -> b2
+b2 for.head -> b3 b4
+b3 for.body -> b6
+b4 for.done -> b9
+b5 for.post -> b2
+b6 for.head -> b7
+b7 for.body -> b5
+b8 for.done -> b5
+b9 exit`,
+		},
+		{
+			name: "panic-path",
+			src: `func f(a bool) {
+	if !a {
+		panic("bad")
+	}
+	g()
+}`,
+			want: `
+b0 entry -> b1 b2
+b1 if.then panics -> b3
+b2 if.done -> b3
+b3 exit`,
+		},
+		{
+			name: "defer-is-a-plain-node",
+			src: `func f() {
+	defer g()
+	if h() {
+		return
+	}
+	g()
+}`,
+			want: `
+b0 entry -> b1 b2
+b1 if.then -> b3
+b2 if.done -> b3
+b3 exit`,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := buildFuncCFG(t, tc.src)
+			got := strings.TrimSpace(c.Dump())
+			want := strings.TrimSpace(tc.want)
+			if got != want {
+				t.Errorf("CFG mismatch:\n--- got ---\n%s\n--- want ---\n%s", got, want)
+			}
+		})
+	}
+}
+
+// Defers must stay ordinary nodes in the block where they execute — the
+// analyzers model their at-exit semantics themselves.
+func TestCFGDeferStaysInBlock(t *testing.T) {
+	c := buildFuncCFG(t, "func f() {\n\tdefer g()\n\tg()\n}")
+	found := false
+	for _, n := range c.Entry.Nodes {
+		if _, ok := n.(*ast.DeferStmt); ok {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("defer statement not recorded in entry block: %v", c.Entry.Nodes)
+	}
+}
+
+// The fixpoint helper must terminate on loops and propagate states through
+// back edges: a trivial reachability analysis must reach every block of a
+// looping function, including Exit.
+func TestForwardDataflowReachesFixpointOnLoop(t *testing.T) {
+	c := buildFuncCFG(t, `func f() {
+	for i := 0; i < 3; i++ {
+		if g() {
+			continue
+		}
+		g()
+	}
+}`)
+	_, out := ForwardDataflow(c, true,
+		func(dst, src bool) (bool, bool) { return dst || src, src && !dst },
+		func(b *Block, in bool) bool { return in },
+	)
+	for _, b := range c.Blocks {
+		if !out[b] && b != c.Exit {
+			t.Errorf("block b%d %s not reached by dataflow", b.Index, b.Kind)
+		}
+	}
+	if in, _ := ForwardDataflow(c, true,
+		func(dst, src bool) (bool, bool) { return dst || src, src && !dst },
+		func(b *Block, in bool) bool { return in },
+	); !in[c.Exit] {
+		t.Error("exit block has no in-state")
+	}
+}

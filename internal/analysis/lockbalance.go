@@ -1,0 +1,323 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// lockBalancePkgs are the lock-heavy runtime packages where an unbalanced
+// mutex is an availability bug: a serve/cluster/pipeline goroutine that
+// returns still holding a lock wedges every other request behind it. Other
+// packages (tools, one-shot CLIs) may use looser idioms.
+var lockBalancePkgs = map[string]bool{
+	"asv/internal/serve":    true,
+	"asv/internal/cluster":  true,
+	"asv/internal/pipeline": true,
+}
+
+// AnalyzerLockBalance flags a sync.Mutex/RWMutex Lock (or RLock) that is not
+// matched by an Unlock on every control-flow path to a return or panic. It
+// is the first CFG-backed rule: the lock facts flow through the function's
+// basic blocks, so `if err != nil { return err }` between Lock and Unlock is
+// caught while `defer mu.Unlock()` (including conditional registration) is
+// credited only on the paths that actually execute the defer.
+var AnalyzerLockBalance = &Analyzer{
+	Name: "lockbalance",
+	Doc:  "sync lock acquired but not released on every path to return/panic",
+	Run:  runLockBalance,
+}
+
+// lockFact is one lock key's state on one path.
+type lockFact struct {
+	held     bool
+	deferred bool // an Unlock for this key is registered via defer
+	pos      token.Pos
+}
+
+// lockState maps "recvKey#mode" -> fact; nil is the dataflow bottom.
+type lockState map[string]lockFact
+
+func (s lockState) clone() lockState {
+	c := make(lockState, len(s))
+	for k, v := range s {
+		c[k] = v
+	}
+	return c
+}
+
+func runLockBalance(p *Pass) []Diagnostic {
+	if !lockBalancePkgs[p.Path] {
+		return nil
+	}
+	var out []Diagnostic
+	for _, body := range allFuncBodies(p.Files) {
+		out = append(out, lockBalanceFunc(p, body)...)
+	}
+	return out
+}
+
+// allFuncBodies yields every function body in the files: declarations plus
+// function literals (each literal's body is analyzed as its own function,
+// matching Go's defer/return semantics).
+func allFuncBodies(files []*ast.File) []*ast.BlockStmt {
+	var out []*ast.BlockStmt
+	for _, f := range files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					out = append(out, n.Body)
+				}
+			case *ast.FuncLit:
+				out = append(out, n.Body)
+			}
+			return true
+		})
+	}
+	return out
+}
+
+func lockBalanceFunc(p *Pass, body *ast.BlockStmt) []Diagnostic {
+	// Fast pre-check: no tracked lock calls, no CFG needed.
+	if !mentionsSyncLock(p, body) {
+		return nil
+	}
+	cfg := BuildCFG(body)
+	_, out := ForwardDataflow(cfg, lockState{},
+		func(dst, src lockState) (lockState, bool) {
+			if dst == nil {
+				return src.clone(), true
+			}
+			changed := false
+			for k, sf := range src {
+				df, ok := dst[k]
+				if !ok {
+					// Key untouched on the dst path: held is a may-property
+					// (held on either path leaks), deferred a must-property
+					// (credited only when every path registers the defer).
+					if sf.held {
+						dst[k] = lockFact{held: true, pos: sf.pos}
+						changed = true
+					}
+					continue
+				}
+				merged := lockFact{
+					held:     df.held || sf.held,
+					deferred: df.deferred && sf.deferred,
+					pos:      df.pos,
+				}
+				if merged.pos == token.NoPos {
+					merged.pos = sf.pos
+				}
+				if merged != df {
+					changed = true
+				}
+				dst[k] = merged
+			}
+			for k, df := range dst {
+				if _, ok := src[k]; !ok && df.deferred {
+					// Deferred on this path only: not deferred on all paths.
+					df.deferred = false
+					dst[k] = df
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+		func(b *Block, in lockState) lockState {
+			st := in.clone()
+			for _, n := range b.Nodes {
+				lockTransferNode(p, n, st)
+			}
+			return st
+		},
+	)
+
+	// Any path into Exit (return or panic — defers run on both) that still
+	// holds a non-deferred lock is a leak.
+	type leak struct {
+		pos token.Pos
+		key string
+	}
+	seen := map[leak]bool{}
+	var leaks []leak
+	for _, pred := range cfg.Exit.Preds {
+		st, ok := out[pred]
+		if !ok {
+			continue
+		}
+		for k, f := range st {
+			if f.held && !f.deferred {
+				l := leak{pos: f.pos, key: k}
+				if !seen[l] {
+					seen[l] = true
+					leaks = append(leaks, l)
+				}
+			}
+		}
+	}
+	sort.Slice(leaks, func(i, j int) bool { return leaks[i].pos < leaks[j].pos })
+	var diags []Diagnostic
+	for _, l := range leaks {
+		name, mode, _ := strings.Cut(l.key, "#")
+		verb := "Lock"
+		unlock := "Unlock"
+		if mode == "R" {
+			verb, unlock = "RLock", "RUnlock"
+		}
+		diags = append(diags, p.diag(l.pos, "lockbalance",
+			"%s of %s is not released on every path to return/panic; add %s.%s (or defer it) before each exit",
+			verb, name, name, unlock))
+	}
+	return diags
+}
+
+// lockTransferNode applies one CFG node's lock effects to st.
+func lockTransferNode(p *Pass, n ast.Node, st lockState) {
+	if d, ok := n.(*ast.DeferStmt); ok {
+		for _, key := range deferredUnlockKeys(p, d) {
+			f := st[key]
+			f.deferred = true
+			st[key] = f
+		}
+		return
+	}
+	inspectShallow(n, func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		key, typ, method, ok := syncMethodCall(p, call)
+		if !ok || (typ != "Mutex" && typ != "RWMutex") {
+			return
+		}
+		switch method {
+		case "Lock":
+			st[key+"#W"] = lockFact{held: true, pos: call.Pos()}
+		case "RLock":
+			st[key+"#R"] = lockFact{held: true, pos: call.Pos()}
+		case "Unlock":
+			f := st[key+"#W"]
+			f.held = false
+			st[key+"#W"] = f
+		case "RUnlock":
+			f := st[key+"#R"]
+			f.held = false
+			st[key+"#R"] = f
+		}
+	})
+}
+
+// deferredUnlockKeys returns the lock keys a defer statement releases at
+// function exit: `defer mu.Unlock()` directly, or unlock calls inside a
+// deferred function literal (`defer func() { mu.Unlock() }()`).
+func deferredUnlockKeys(p *Pass, d *ast.DeferStmt) []string {
+	var keys []string
+	record := func(call *ast.CallExpr) {
+		key, typ, method, ok := syncMethodCall(p, call)
+		if !ok || (typ != "Mutex" && typ != "RWMutex") {
+			return
+		}
+		switch method {
+		case "Unlock":
+			keys = append(keys, key+"#W")
+		case "RUnlock":
+			keys = append(keys, key+"#R")
+		}
+	}
+	record(d.Call)
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		inspectShallow(lit.Body, func(x ast.Node) {
+			if call, ok := x.(*ast.CallExpr); ok {
+				record(call)
+			}
+		})
+	}
+	return keys
+}
+
+// mentionsSyncLock reports whether the body contains any tracked mutex call,
+// without building a CFG.
+func mentionsSyncLock(p *Pass, body *ast.BlockStmt) bool {
+	found := false
+	inspectShallow(body, func(x ast.Node) {
+		if found {
+			return
+		}
+		if call, ok := x.(*ast.CallExpr); ok {
+			if _, typ, _, ok := syncMethodCall(p, call); ok && (typ == "Mutex" || typ == "RWMutex") {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// --- shared helpers for the CFG-based analyzers ---
+
+// exprKey renders an identifier/selector chain ("s.mu", "b.finished") to a
+// stable key, or "" when the expression is not a plain chain (indexing,
+// call results, ...).
+func exprKey(e ast.Expr) string {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		if base := exprKey(e.X); base != "" {
+			return base + "." + e.Sel.Name
+		}
+	}
+	return ""
+}
+
+// inspectShallow walks root without descending into nested function literals
+// (their bodies execute under their own CFG) or into a RangeStmt's Body (the
+// CFG places range bodies in their own blocks).
+func inspectShallow(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok && n != root {
+			return false
+		}
+		if rs, ok := root.(*ast.RangeStmt); ok {
+			if bs, ok2 := n.(*ast.BlockStmt); ok2 && bs == rs.Body {
+				return false
+			}
+		}
+		visit(n)
+		return true
+	})
+}
+
+// syncMethodCall resolves a call to a method on a sync package type with a
+// stable receiver chain: ("s.mu", "Mutex", "Lock", true). The receiver key
+// unifies embedded promotion (`s.Lock()` on a struct embedding sync.Mutex
+// keys as "s") with explicit fields.
+func syncMethodCall(p *Pass, call *ast.CallExpr) (recvKey, typeName, method string, ok bool) {
+	sel, okSel := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !okSel {
+		return "", "", "", false
+	}
+	fn, _ := p.Info.Uses[sel.Sel].(*types.Func)
+	if fn == nil || fn.Pkg() == nil || fn.Pkg().Path() != "sync" {
+		return "", "", "", false
+	}
+	sig, okSig := fn.Type().(*types.Signature)
+	if !okSig || sig.Recv() == nil {
+		return "", "", "", false
+	}
+	named, fromSync := namedFrom(sig.Recv().Type(), "sync")
+	if named == nil || !fromSync {
+		return "", "", "", false
+	}
+	key := exprKey(sel.X)
+	if key == "" {
+		return "", "", "", false
+	}
+	return key, named.Obj().Name(), fn.Name(), true
+}

@@ -1,0 +1,322 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// AnalyzerSendBlock hunts the channel wait-cycle that actually deadlocked
+// this repo: PR 7's micro-batcher flush blocked on a plain `b.work <- it`
+// inside its dispatch loop while every worker blocked on `b.done <- sess`,
+// because the only goroutine that drains done was the one stuck sending
+// work. The rule flags an unconditional (non-select) send on an unbuffered
+// channel inside a loop when, in the same package, a separate goroutine
+// component loop-receives that channel and hands completions back on a
+// second channel that only the sender's component drains — a static
+// wait-for cycle send(A) → recv(A);send(B) → recv(B).
+//
+// Functions are grouped into goroutine components by the package call graph
+// with `go` launch edges cut (a spawned body runs concurrently, so it is
+// not an extension of its spawner's blocking behaviour); the cycle check
+// then runs between components. Sends already wrapped in a select are the
+// fix, not the bug, and never flagged.
+var AnalyzerSendBlock = &Analyzer{
+	Name: "sendblock",
+	Doc:  "loop send on unbuffered channel forming a wait-for cycle with its receiver's completion channel",
+	Run:  runSendBlock,
+}
+
+// chanUse summarizes one goroutine-launchable function body's channel
+// behaviour.
+type chanUse struct {
+	name           string
+	plainLoopSends map[string][]token.Pos // unconditional in-loop sends, by channel key
+	plainSends     map[string]bool        // unconditional sends anywhere
+	recvs          map[string]bool        // receives of any form (plain, select, range)
+	loopRecvs      map[string]bool        // receives that repeat (in a loop or range)
+	callees        []types.Object         // same-package synchronous callees
+}
+
+func runSendBlock(p *Pass) []Diagnostic {
+	unbuffered := unbufferedChans(p)
+	if len(unbuffered) == 0 {
+		return nil
+	}
+	// Enumerate goroutine-launchable nodes: every declaration, plus every
+	// go-launched function literal (which must not inherit its spawner's
+	// summary — it blocks independently).
+	launched := map[*ast.FuncLit]bool{}
+	var launchedOrder []*ast.FuncLit
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if gs, ok := n.(*ast.GoStmt); ok {
+				if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok && !launched[lit] {
+					launched[lit] = true
+					launchedOrder = append(launchedOrder, lit)
+				}
+			}
+			return true
+		})
+	}
+
+	var nodes []*chanUse
+	objNode := map[types.Object]int{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			fd, ok := d.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			u := scanChanOps(p, fd.Name.Name, fd.Body, launched)
+			if obj := p.Info.Defs[fd.Name]; obj != nil {
+				objNode[obj] = len(nodes)
+			}
+			nodes = append(nodes, u)
+		}
+	}
+	for _, lit := range launchedOrder {
+		nodes = append(nodes, scanChanOps(p, "goroutine literal", lit.Body, launched))
+	}
+
+	// Union goroutine components over synchronous call edges.
+	comp := make([]int, len(nodes))
+	for i := range comp {
+		comp[i] = i
+	}
+	var find func(int) int
+	find = func(i int) int {
+		for comp[i] != i {
+			comp[i] = comp[comp[i]]
+			i = comp[i]
+		}
+		return i
+	}
+	union := func(a, b int) { comp[find(a)] = find(b) }
+	for i, u := range nodes {
+		for _, callee := range u.callees {
+			if j, ok := objNode[callee]; ok {
+				union(i, j)
+			}
+		}
+	}
+
+	// Per-component receive sets.
+	compRecvs := map[int]map[string]bool{}
+	for i, u := range nodes {
+		c := find(i)
+		m := compRecvs[c]
+		if m == nil {
+			m = map[string]bool{}
+			compRecvs[c] = m
+		}
+		for k := range u.recvs {
+			m[k] = true
+		}
+	}
+
+	var out []Diagnostic
+	for i, u := range nodes {
+		for a, positions := range u.plainLoopSends {
+			if !unbuffered[a] {
+				continue
+			}
+			for j, g := range nodes {
+				if find(i) == find(j) || !g.loopRecvs[a] {
+					continue
+				}
+				cycle := ""
+				for b := range g.plainSends {
+					if b != a && compRecvs[find(i)][b] {
+						cycle = b
+						break
+					}
+				}
+				if cycle == "" {
+					continue
+				}
+				sort.Slice(positions, func(x, y int) bool { return positions[x] < positions[y] })
+				for _, pos := range positions {
+					out = append(out, p.diag(pos, "sendblock",
+						"unconditional loop send on unbuffered channel %q can deadlock: its receiver (%s) blocks handing completions back on %q, which only this goroutine drains; wrap the send in a select that also drains %q",
+						a, g.name, cycle, cycle))
+				}
+				break
+			}
+		}
+	}
+	return out
+}
+
+// scanChanOps walks one function body, skipping go-launched literals (their
+// blocking behaviour is their own), and summarizes its channel operations.
+// Non-launched literals (callbacks, deferred funcs) run synchronously in
+// this goroutine and fold into the summary.
+func scanChanOps(p *Pass, name string, body *ast.BlockStmt, launched map[*ast.FuncLit]bool) *chanUse {
+	u := &chanUse{
+		name:           name,
+		plainLoopSends: map[string][]token.Pos{},
+		plainSends:     map[string]bool{},
+		recvs:          map[string]bool{},
+		loopRecvs:      map[string]bool{},
+	}
+
+	// Pass 1: spans of loop bodies and the set of select-guarded sends.
+	var loopSpans [][2]token.Pos
+	guarded := map[*ast.SendStmt]bool{}
+	goCalls := map[*ast.CallExpr]bool{}
+	walk := func(visit func(ast.Node) bool) {
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && launched[lit] {
+				return false
+			}
+			if n == nil {
+				return false
+			}
+			return visit(n)
+		})
+	}
+	walk(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.ForStmt:
+			loopSpans = append(loopSpans, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+		case *ast.RangeStmt:
+			loopSpans = append(loopSpans, [2]token.Pos{n.Body.Pos(), n.Body.End()})
+		case *ast.CommClause:
+			if s, ok := n.Comm.(*ast.SendStmt); ok {
+				guarded[s] = true
+			}
+		case *ast.GoStmt:
+			goCalls[n.Call] = true
+		}
+		return true
+	})
+	inLoop := func(pos token.Pos) bool {
+		for _, sp := range loopSpans {
+			if sp[0] <= pos && pos < sp[1] {
+				return true
+			}
+		}
+		return false
+	}
+
+	// Pass 2: record the operations.
+	walk(func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			if key := chanKey(n.Chan); key != "" && !guarded[n] {
+				u.plainSends[key] = true
+				if inLoop(n.Pos()) {
+					u.plainLoopSends[key] = append(u.plainLoopSends[key], n.Pos())
+				}
+			}
+		case *ast.UnaryExpr:
+			if n.Op == token.ARROW {
+				if key := chanKey(n.X); key != "" {
+					u.recvs[key] = true
+					if inLoop(n.Pos()) {
+						u.loopRecvs[key] = true
+					}
+				}
+			}
+		case *ast.RangeStmt:
+			if t := p.Info.TypeOf(n.X); t != nil && isChan(t) {
+				if key := chanKey(n.X); key != "" {
+					u.recvs[key] = true
+					u.loopRecvs[key] = true
+				}
+			}
+		case *ast.CallExpr:
+			if !goCalls[n] {
+				if fn := calleeFunc(p.Info, n); fn != nil && fn.Pkg() != nil && fn.Pkg().Path() == p.Path {
+					u.callees = append(u.callees, fn)
+				}
+			}
+		}
+		return true
+	})
+	return u
+}
+
+// chanKey identifies a channel by the final name of its selector chain, so
+// the field `work` of a struct unifies with `b.work`, `p.work`, and the
+// composite-literal key that made it. Collisions between unrelated channels
+// that share a field name are possible and acceptable: the rule needs the
+// full cycle shape before it fires.
+func chanKey(e ast.Expr) string {
+	full := exprKey(e)
+	if full == "" {
+		return ""
+	}
+	for i := len(full) - 1; i >= 0; i-- {
+		if full[i] == '.' {
+			return full[i+1:]
+		}
+	}
+	return full
+}
+
+// unbufferedChans maps channel keys to "every make site is unbuffered".
+// Channels with a non-constant or nonzero capacity anywhere, or with no
+// visible make site, are excluded — the rule only fires on channels that
+// are provably rendezvous-only.
+func unbufferedChans(p *Pass) map[string]bool {
+	state := map[string]bool{}
+	consider := func(target ast.Expr, val ast.Expr) {
+		call, ok := ast.Unparen(val).(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		fun, ok := ast.Unparen(call.Fun).(*ast.Ident)
+		if !ok || p.Info.Uses[fun] != types.Universe.Lookup("make") {
+			return
+		}
+		tv, ok := p.Info.Types[call]
+		if !ok || !isChan(tv.Type) {
+			return
+		}
+		key := chanKey(target)
+		if key == "" {
+			return
+		}
+		unbuf := len(call.Args) < 2
+		if !unbuf {
+			if v, ok := p.Info.Types[call.Args[1]]; ok && v.Value != nil {
+				if n, exact := constant.Int64Val(v.Value); exact && n == 0 {
+					unbuf = true
+				}
+			}
+		}
+		if prev, seen := state[key]; seen {
+			state[key] = prev && unbuf
+		} else {
+			state[key] = unbuf
+		}
+	}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.AssignStmt:
+				for i, rhs := range n.Rhs {
+					if i < len(n.Lhs) {
+						consider(n.Lhs[i], rhs)
+					}
+				}
+			case *ast.ValueSpec:
+				for i, v := range n.Values {
+					if i < len(n.Names) {
+						consider(n.Names[i], v)
+					}
+				}
+			case *ast.KeyValueExpr:
+				if key, ok := n.Key.(*ast.Ident); ok {
+					consider(key, n.Value)
+				}
+			}
+			return true
+		})
+	}
+	return state
+}

@@ -1,0 +1,114 @@
+// Package lockbalance is an asvlint fixture; the harness loads it under the
+// import path asv/internal/cluster so the package-scoped rule applies.
+package lockbalance
+
+import (
+	"errors"
+	"sync"
+)
+
+var errNotFound = errors.New("not found")
+
+type store struct {
+	mu sync.RWMutex
+	m  map[string]int
+	n  int
+}
+
+// Leak: the error path returns while the write lock is still held.
+func (s *store) get(k string) (int, error) {
+	s.mu.Lock() // want `\[lockbalance\] Lock of s.mu is not released on every path to return/panic`
+	v, ok := s.m[k]
+	if !ok {
+		return 0, errNotFound
+	}
+	s.mu.Unlock()
+	return v, nil
+}
+
+// Leak: the panic path escapes with the read lock held — defers would run,
+// but no unlock is deferred.
+func (s *store) mustGet(k string) int {
+	s.mu.RLock() // want `\[lockbalance\] RLock of s.mu is not released on every path to return/panic`
+	v, ok := s.m[k]
+	if !ok {
+		panic("missing key")
+	}
+	s.mu.RUnlock()
+	return v
+}
+
+// Leak: the defer is only registered on one branch, so the other branch
+// exits still holding the lock.
+func (s *store) conditionalDefer(cond bool) {
+	s.mu.Lock() // want `\[lockbalance\] Lock of s.mu is not released on every path to return/panic`
+	if cond {
+		defer s.mu.Unlock()
+	}
+	s.n++
+}
+
+// Leak inside a function literal: each literal is its own function, with its
+// own exits.
+func makeCloser(mu *sync.Mutex) func() {
+	return func() {
+		mu.Lock() // want `\[lockbalance\] Lock of mu is not released on every path to return/panic`
+		_ = mu
+	}
+}
+
+// Fine: the canonical defer-at-top shape covers every exit, including the
+// early return.
+func (s *store) put(k string, v int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.m == nil {
+		return errNotFound
+	}
+	s.m[k] = v
+	return nil
+}
+
+// Fine: both branches release explicitly before returning.
+func (s *store) swap(k string, v int) int {
+	s.mu.Lock()
+	old, ok := s.m[k]
+	if !ok {
+		s.m[k] = v
+		s.mu.Unlock()
+		return 0
+	}
+	s.m[k] = v
+	s.mu.Unlock()
+	return old
+}
+
+// Fine: balanced acquire/release inside a loop body.
+func (s *store) sweep(keys []string) {
+	for _, k := range keys {
+		s.mu.Lock()
+		delete(s.m, k)
+		s.mu.Unlock()
+	}
+}
+
+// Fine: the unlock lives in a deferred function literal.
+func (s *store) viaLiteral() {
+	s.mu.Lock()
+	defer func() {
+		s.mu.Unlock()
+	}()
+	s.n++
+}
+
+// Fine: read path balanced on every branch.
+func (s *store) peek(k string) (int, bool) {
+	s.mu.RLock()
+	v, ok := s.m[k]
+	if !ok {
+		s.mu.RUnlock()
+		return 0, false
+	}
+	s.mu.RUnlock()
+	return v, true
+}

@@ -1,0 +1,102 @@
+// Package sendblock is an asvlint fixture distilled from the PR 7
+// micro-batcher deadlock: flush dispatched with a plain send on the
+// unbuffered work channel while every worker was blocked handing its
+// completion back on done — a channel only flush's own goroutine drains.
+package sendblock
+
+type item struct{ id int }
+
+func process(it *item) {}
+func observe(id int)   {}
+func sink(v int)       {}
+func batchOf() []*item { return nil }
+
+type batcher struct {
+	admit chan []*item
+	work  chan *item
+	done  chan int
+	quit  chan struct{}
+}
+
+func newBatcher(workers int) *batcher {
+	b := &batcher{
+		admit: make(chan []*item, 1),
+		work:  make(chan *item),
+		done:  make(chan int, workers),
+		quit:  make(chan struct{}),
+	}
+	for i := 0; i < workers; i++ {
+		go b.worker()
+	}
+	go b.run()
+	return b
+}
+
+// worker loop-receives work and blocks sending each completion on done.
+func (b *batcher) worker() {
+	for it := range b.work {
+		process(it)
+		b.done <- it.id
+	}
+}
+
+// run drains done — but only when it is not stuck inside flushBroken.
+func (b *batcher) run() {
+	for {
+		select {
+		case batch := <-b.admit:
+			b.flushBroken(batch)
+			b.flushFixed(batch)
+		case id := <-b.done:
+			observe(id)
+		case <-b.quit:
+			return
+		}
+	}
+}
+
+// Deadlock: with every worker blocked on `b.done <-`, this plain send can
+// never rendezvous, and nobody else drains done.
+func (b *batcher) flushBroken(batch []*item) {
+	for _, it := range batch {
+		b.work <- it // want `\[sendblock\] unconditional loop send on unbuffered channel "work" can deadlock`
+	}
+}
+
+// Fine: the PR 7 fix — the dispatch select also drains done, so a blocked
+// worker always makes progress.
+func (b *batcher) flushFixed(batch []*item) {
+	for _, it := range batch {
+	dispatch:
+		for {
+			select {
+			case b.work <- it:
+				break dispatch
+			case id := <-b.done:
+				observe(id)
+			}
+		}
+	}
+}
+
+// Fine: loop sends on a buffered channel are not rendezvous-blocked.
+func (b *batcher) requeue(ids []int) {
+	for _, id := range ids {
+		b.done <- id
+	}
+}
+
+// Fine: the consumer never blocks sending anywhere, so no wait-for cycle
+// exists even though feed is unbuffered and fed from a loop.
+func pump() {
+	feed := make(chan int)
+	go func() {
+		for v := range feed {
+			sink(v)
+		}
+	}()
+	for i := 0; i < 10; i++ {
+		feed <- i
+	}
+	close(feed)
+}

@@ -1,0 +1,92 @@
+// Package wgbalance is an asvlint fixture for the WaitGroup discipline rule.
+package wgbalance
+
+import "sync"
+
+func work(jobs []int) {
+	for range jobs {
+	}
+}
+
+// Skip: the empty-input path returns before Done, so Wait hangs forever.
+func skipOnEmpty(wg *sync.WaitGroup, jobs []int) {
+	wg.Add(1)
+	go func() { // want `\[wgbalance\] WaitGroup.Done on wg is skipped on some path of this goroutine`
+		if len(jobs) == 0 {
+			return
+		}
+		work(jobs)
+		wg.Done()
+	}()
+}
+
+// Add inside the goroutine it gates: Wait can observe a zero counter before
+// the goroutine is scheduled and return while the work still runs.
+func addInside(wg *sync.WaitGroup, jobs []int) {
+	go func() {
+		wg.Add(1) // want `\[wgbalance\] WaitGroup.Add on wg inside the goroutine it gates`
+		defer wg.Done()
+		work(jobs)
+	}()
+}
+
+type pool struct {
+	wg    sync.WaitGroup
+	empty bool
+}
+
+// Skip through a named launch: the early return in the launched method body
+// bypasses Done.
+func (p *pool) drainFlaky() {
+	if p.empty {
+		return
+	}
+	work(nil)
+	p.wg.Done()
+}
+
+func (p *pool) start() {
+	p.wg.Add(1)
+	go p.drainFlaky() // want `\[wgbalance\] WaitGroup.Done on p.wg is skipped on some path of this goroutine`
+}
+
+// Fine: defer at the top covers every exit, including the early return.
+func deferred(wg *sync.WaitGroup, jobs []int) {
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if len(jobs) == 0 {
+			return
+		}
+		work(jobs)
+	}()
+}
+
+// Fine: Done is called explicitly on both branches.
+func bothBranches(wg *sync.WaitGroup, jobs []int) {
+	wg.Add(1)
+	go func() {
+		if len(jobs) == 0 {
+			wg.Done()
+			return
+		}
+		work(jobs)
+		wg.Done()
+	}()
+}
+
+// Fine: the deferred literal calls Done.
+func deferredLiteral(wg *sync.WaitGroup, jobs []int) {
+	wg.Add(1)
+	go func() {
+		defer func() {
+			wg.Done()
+		}()
+		work(jobs)
+	}()
+}
+
+// Fine: a goroutine that never touches a WaitGroup is out of scope.
+func untracked(jobs []int) {
+	go work(jobs)
+}

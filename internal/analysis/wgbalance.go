@@ -1,0 +1,206 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerWGBalance checks the sync.WaitGroup discipline of every launched
+// goroutine, in two CFG-aware ways. First, a goroutine that calls
+// WaitGroup.Done on some paths must call it on all of them — a conditional
+// return before Done leaves the matching Wait blocked forever, the quiet
+// sibling of the drain bugs golocked hunts. Second, WaitGroup.Add inside
+// the goroutine it gates is flagged outright: Add must happen-before the
+// goroutine starts (and before Wait), or Wait can observe a zero counter
+// and return while the work is still running.
+var AnalyzerWGBalance = &Analyzer{
+	Name: "wgbalance",
+	Doc:  "WaitGroup.Done skipped on some goroutine path, or Add inside the gated goroutine",
+	Run:  runWGBalance,
+}
+
+func runWGBalance(p *Pass) []Diagnostic {
+	// Index declarations so `go s.worker()` resolves to worker's body.
+	decls := declIndex(p)
+
+	var out []Diagnostic
+	analyzed := map[*ast.BlockStmt]bool{}
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			gs, ok := n.(*ast.GoStmt)
+			if !ok {
+				return true
+			}
+			body := goStmtBody(p, gs, decls)
+			if body == nil || analyzed[body] {
+				return true
+			}
+			analyzed[body] = true
+			out = append(out, wgBalanceGoroutine(p, gs, body)...)
+			return true
+		})
+	}
+	return out
+}
+
+// declIndex maps each function/method object to its declaration.
+func declIndex(p *Pass) map[types.Object]*ast.FuncDecl {
+	decls := map[types.Object]*ast.FuncDecl{}
+	for _, f := range p.Files {
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				if obj := p.Info.Defs[fd.Name]; obj != nil {
+					decls[obj] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// goStmtBody resolves the body a go statement launches: a function literal,
+// or a same-package function/method declaration.
+func goStmtBody(p *Pass, gs *ast.GoStmt, decls map[types.Object]*ast.FuncDecl) *ast.BlockStmt {
+	if lit, ok := ast.Unparen(gs.Call.Fun).(*ast.FuncLit); ok {
+		return lit.Body
+	}
+	if fn := calleeFunc(p.Info, gs.Call); fn != nil {
+		if fd, ok := decls[fn]; ok {
+			return fd.Body
+		}
+	}
+	return nil
+}
+
+// doneSet is the must-have-called-Done lattice: nil is bottom, keys are
+// WaitGroup receiver chains.
+type doneSet map[string]bool
+
+func (s doneSet) clone() doneSet {
+	c := make(doneSet, len(s))
+	for k := range s {
+		c[k] = true
+	}
+	return c
+}
+
+func wgBalanceGoroutine(p *Pass, gs *ast.GoStmt, body *ast.BlockStmt) []Diagnostic {
+	// Every WaitGroup this goroutine calls Done on, plus all Add calls, from
+	// one shallow walk (deferred function literals run in this goroutine and
+	// are included; nested goroutines are their own analysis).
+	doneKeys := map[string]bool{}
+	type addCall struct {
+		key string
+		pos token.Pos
+	}
+	var adds []addCall
+	visitCall := func(x ast.Node) {
+		call, ok := x.(*ast.CallExpr)
+		if !ok {
+			return
+		}
+		key, typ, method, ok := syncMethodCall(p, call)
+		if !ok || typ != "WaitGroup" {
+			return
+		}
+		switch method {
+		case "Done":
+			doneKeys[key] = true
+		case "Add":
+			adds = append(adds, addCall{key: key, pos: call.Pos()})
+		}
+	}
+	inspectShallow(body, visitCall)
+	inspectShallow(body, func(x ast.Node) {
+		if d, ok := x.(*ast.DeferStmt); ok {
+			if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+				inspectShallow(lit.Body, visitCall)
+			}
+		}
+	})
+
+	var out []Diagnostic
+	for _, a := range adds {
+		if doneKeys[a.key] {
+			out = append(out, p.diag(a.pos, "wgbalance",
+				"WaitGroup.Add on %s inside the goroutine it gates; Add must happen-before the goroutine starts or Wait can return early", a.key))
+		}
+	}
+	if len(doneKeys) == 0 {
+		return out
+	}
+
+	// Must-analysis: Done (or a defer registering it) must reach every
+	// normal or panicking exit — defers run while panicking, so a deferred
+	// Done satisfies panic paths too, but a path that panics before any
+	// Done is registered crashes the program anyway and is not the
+	// hung-Wait bug this rule hunts; panic predecessors are skipped.
+	cfg := BuildCFG(body)
+	_, outStates := ForwardDataflow(cfg, doneSet{},
+		func(dst, src doneSet) (doneSet, bool) {
+			if dst == nil {
+				return src.clone(), true
+			}
+			changed := false
+			for k := range dst {
+				if !src[k] {
+					delete(dst, k)
+					changed = true
+				}
+			}
+			return dst, changed
+		},
+		func(b *Block, in doneSet) doneSet {
+			st := in.clone()
+			for _, n := range b.Nodes {
+				wgTransferNode(p, n, st)
+			}
+			return st
+		},
+	)
+
+	missing := map[string]bool{}
+	for _, pred := range cfg.Exit.Preds {
+		if pred.Panics {
+			continue
+		}
+		st, ok := outStates[pred]
+		if !ok {
+			continue
+		}
+		for k := range doneKeys {
+			if !st[k] {
+				missing[k] = true
+			}
+		}
+	}
+	for k := range doneKeys {
+		if missing[k] {
+			out = append(out, p.diag(gs.Pos(), "wgbalance",
+				"WaitGroup.Done on %s is skipped on some path of this goroutine, leaving Wait blocked forever; defer %s.Done() at the top of the goroutine", k, k))
+		}
+	}
+	return out
+}
+
+// wgTransferNode marks the WaitGroups a node guarantees Done for: a direct
+// Done call, or a defer that registers one (directly or via a deferred
+// function literal).
+func wgTransferNode(p *Pass, n ast.Node, st doneSet) {
+	mark := func(x ast.Node) {
+		if call, ok := x.(*ast.CallExpr); ok {
+			if key, typ, method, ok := syncMethodCall(p, call); ok && typ == "WaitGroup" && method == "Done" {
+				st[key] = true
+			}
+		}
+	}
+	if d, ok := n.(*ast.DeferStmt); ok {
+		mark(d.Call)
+		if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+			inspectShallow(lit.Body, mark)
+		}
+		return
+	}
+	inspectShallow(n, mark)
+}

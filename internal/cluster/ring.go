@@ -81,7 +81,6 @@ func NewRing(shards []string, replicas int) *Ring {
 // points into arcs and skewing load as much as 6× in five-shard rings.
 func ringHash(key string) uint64 {
 	f := fnv.New64a()
-	//asvlint:ignore droppederr hash.Hash Write never fails
 	f.Write([]byte(key))
 	h := f.Sum64()
 	h ^= h >> 33

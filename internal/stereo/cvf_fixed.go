@@ -6,63 +6,137 @@ package stereo
 // via horizontal and vertical sliding windows — winner-take-all and the
 // parabola subpixel fit are both invariant to the constant (2r+1)² scale, so
 // dividing would only throw away precision.
+//
+// Both kernels are written in the row-window form the prove pass can verify:
+// every inner loop indexes equal-length subslices, so the per-pixel bounds
+// checks pinned by perf_contract.json are zero.
 
 // adPlaneU8 fills dst[y*w+x] with min(|l8 - r8 shifted by d|, trunc),
 // clamping the right-view column at the left border like the float path.
 func adPlaneU8(l8, r8 []uint8, w, h, d int, trunc uint8, dst []uint8) {
+	if w <= 0 {
+		return
+	}
+	// Clamping d once (a no-op for valid disparities) hands prove the
+	// 0 <= d <= w fact it needs to drop the x-d checks.
+	if d < 0 {
+		d = 0
+	}
+	if d > w {
+		d = w
+	}
+	n := w - d
 	for y := 0; y < h; y++ {
 		row := y * w
-		for x := 0; x < min(d, w); x++ {
-			dst[row+x] = min(absDiffU8(l8[row+x], r8[row]), trunc)
+		lr := l8[row:][:w]
+		rr := r8[row:][:w]
+		dr := dst[row:][:w]
+		border := rr[0]
+		db := dr[:d]
+		for x, lv := range lr[:d] {
+			db[x] = min(absDiffU8(lv, border), trunc)
 		}
-		for x := d; x < w; x++ {
-			dst[row+x] = min(absDiffU8(l8[row+x], r8[row+x-d]), trunc)
+		lo := lr[d:][:n]
+		ro := rr[:n]
+		do := dr[d:][:n]
+		for i, rv := range ro {
+			do[i] = min(absDiffU8(lo[i], rv), trunc)
 		}
 	}
 }
 
 // boxSumU16 fills dst[y*w+x] with the (2r+1)×(2r+1) replicate-border window
-// sum of src, using rowBuf (w*h uint16 scratch) for the horizontal pass.
-func boxSumU16(src []uint8, w, h, r int, rowBuf, dst []uint16) {
+// sum of src, using rowBuf (w*h uint16) and colSum (w uint32) as
+// caller-owned scratch — the kernel itself never allocates.
+func boxSumU16(src []uint8, w, h, r int, rowBuf, dst []uint16, colSum []uint32) {
 	if r == 0 {
+		dst = dst[:len(src)]
 		for i, v := range src {
 			dst[i] = uint16(v)
 		}
 		return
 	}
-	// Horizontal sliding window per row.
+	// Horizontal sliding window per row, split like slideRow: clamped
+	// borders around a branch-free interior over equal-length subslices.
 	for y := 0; y < h; y++ {
 		row := y * w
-		var s uint32
-		for dx := -r; dx <= r; dx++ {
-			s += uint32(src[row+clampInt(dx, 0, w-1)])
-		}
-		rowBuf[row] = satU16(s)
-		for x := 1; x < w; x++ {
-			s += uint32(src[row+clampInt(x+r, 0, w-1)])
-			s -= uint32(src[row+clampInt(x-1-r, 0, w-1)])
-			rowBuf[row+x] = satU16(s)
-		}
+		boxSumRow(src[row:], w, r, rowBuf[row:])
 	}
-	// Vertical sliding window, one exact uint32 running sum per column.
-	col := make([]uint32, w)
+	// Vertical sliding window, one exact uint32 running sum per column,
+	// advanced a full row at a time.
+	cs := colSum[:w]
+	for x := range cs {
+		cs[x] = 0
+	}
 	for dy := -r; dy <= r; dy++ {
-		row := clampInt(dy, 0, h-1) * w
-		for x := 0; x < w; x++ {
-			col[x] += uint32(rowBuf[row+x])
+		rs := rowBuf[clampInt(dy, 0, h-1)*w:][:w]
+		for x, v := range rs {
+			cs[x] += uint32(v)
 		}
 	}
-	for x := 0; x < w; x++ {
-		dst[x] = satU16(col[x])
+	out := dst[0:][:w]
+	for x, s := range cs {
+		out[x] = satU16(s)
 	}
 	for y := 1; y < h; y++ {
-		add := clampInt(y+r, 0, h-1) * w
-		sub := clampInt(y-1-r, 0, h-1) * w
-		row := y * w
-		for x := 0; x < w; x++ {
-			col[x] += uint32(rowBuf[add+x])
-			col[x] -= uint32(rowBuf[sub+x])
-			dst[row+x] = satU16(col[x])
+		add := rowBuf[clampInt(y+r, 0, h-1)*w:][:w]
+		sub := rowBuf[clampInt(y-1-r, 0, h-1)*w:][:w]
+		out := dst[y*w:][:w]
+		for x, s := range cs {
+			s += uint32(add[x]) - uint32(sub[x])
+			cs[x] = s
+			out[x] = satU16(s)
 		}
+	}
+}
+
+// boxSumRow is boxSumU16's horizontal pass over one row: dst[x] gets the
+// clamped window sum Σ_{|dx|<=r} src[clamp(x+dx)]. Same structure as
+// slideRow, for uint8 samples.
+func boxSumRow(src []uint8, w, r int, dst []uint16) {
+	if w <= 0 {
+		return
+	}
+	src = src[:w]
+	dst = dst[:w]
+	if r <= 0 || w <= 2*r {
+		var s uint32
+		for dx := -r; dx <= r; dx++ {
+			s += uint32(src[clampInt(dx, 0, w-1)])
+		}
+		dst[0] = satU16(s)
+		for x := 1; x < w; x++ {
+			s += uint32(src[clampInt(x+r, 0, w-1)])
+			s -= uint32(src[clampInt(x-1-r, 0, w-1)])
+			dst[x] = satU16(s)
+		}
+		return
+	}
+	left := uint32(src[0])
+	s := left * uint32(r+1)
+	for _, v := range src[1 : r+1] {
+		s += uint32(v)
+	}
+	dst[0] = satU16(s)
+	win := src[r+1:][:r]
+	outl := dst[1:][:r]
+	for i, v := range win {
+		s += uint32(v) - left
+		outl[i] = satU16(s)
+	}
+	n := w - 2*r - 1
+	adds := src[2*r+1:][:n]
+	subs := src[:n]
+	outi := dst[r+1:][:n]
+	for i, a := range adds {
+		s += uint32(a) - uint32(subs[i])
+		outi[i] = satU16(s)
+	}
+	right := uint32(src[w-1])
+	tail := src[w-2*r-1:][:r]
+	outr := dst[w-r:][:r]
+	for i, v := range tail {
+		s += right - uint32(v)
+		outr[i] = satU16(s)
 	}
 }

@@ -67,8 +67,9 @@ func matchFixed(left, right *imgproc.Image, opt BMOptions) *imgproc.Image {
 		rows := y1 - y0
 		adBuf := make([]uint16, w)
 		rowSum := make([]uint16, (rows+2*r)*w)
+		colSum := make([]uint32, w)
 		vol := make([]uint16, rows*nd*w)
-		blockCostStrip(cost, w, h, y0, y1, r, nd, adBuf, rowSum, vol)
+		blockCostStrip(cost, w, h, y0, y1, r, nd, adBuf, rowSum, colSum, vol)
 		wtaStrip(vol, out, w, y0, y1, nd, opt)
 	})
 	return out
@@ -234,7 +235,8 @@ func cvfFixed(left, right *imgproc.Image, opt CVFOptions) *imgproc.Image {
 		adPlaneU8(l8, r8, w, h, d, trunc, ad)
 		dst := make([]uint16, w*h)
 		rowBuf := make([]uint16, w*h)
-		boxSumU16(ad, w, h, opt.AggR, rowBuf, dst)
+		colSum := make([]uint32, w)
+		boxSumU16(ad, w, h, opt.AggR, rowBuf, dst, colSum)
 		planes[d] = dst
 	})
 

@@ -261,7 +261,7 @@ func TestCVFPlaneKernelsAgainstNaiveReference(t *testing.T) {
 	for _, r := range []int{0, 2, 3} {
 		dst := make([]uint16, w*h)
 		rowBuf := make([]uint16, w*h)
-		boxSumU16(ad, w, h, r, rowBuf, dst)
+		boxSumU16(ad, w, h, r, rowBuf, dst, make([]uint32, w))
 		for y := 0; y < h; y++ {
 			for x := 0; x < w; x++ {
 				var want uint32

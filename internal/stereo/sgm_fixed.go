@@ -27,14 +27,20 @@ func costVolumeU8(cl, cr []uint64, w, h, nd int, maxCost uint8) []uint8 {
 	vol := make([]uint8, w*h*nd)
 	par.For(h, func(y int) {
 		row := y * w
+		clRow := cl[row:][:w]
+		crRow := cr[row:][:w]
 		for x := 0; x < w; x++ {
-			base := (row + x) * nd
-			hi := min(nd, x+1)
+			cells := vol[(row+x)*nd:][:nd]
+			l := clRow[x]
+			hi := nd
+			if hi > x+1 {
+				hi = x + 1
+			}
 			for d := 0; d < hi; d++ {
-				vol[base+d] = uint8(bits.OnesCount64(cl[row+x] ^ cr[row+x-d]))
+				cells[d] = uint8(bits.OnesCount64(l ^ crRow[x-d]))
 			}
 			for d := hi; d < nd; d++ {
-				vol[base+d] = maxCost
+				cells[d] = maxCost
 			}
 		}
 	})
@@ -48,6 +54,15 @@ func costVolumeU8(cl, cr []uint64, w, h, nd int, maxCost uint8) []uint8 {
 // per disparity it is two saturating adds, three mins and a subtraction, the
 // form that maps onto conditional moves.
 func sgmStepFixed(dst, prev, sum []uint16, costRow []uint8, nd int, p1, p2 uint16) {
+	if nd <= 0 {
+		return
+	}
+	// Pinning every slice length to nd (and branching on nd < 2, so the
+	// tail below runs with nd >= 2 proven) lets prove drop all per-disparity
+	// bounds checks; perf_contract.json holds this function to zero.
+	dst = dst[:nd]
+	sum = sum[:nd]
+	costRow = costRow[:nd]
 	if prev == nil {
 		for d := 0; d < nd; d++ {
 			c := uint16(costRow[d])
@@ -56,12 +71,13 @@ func sgmStepFixed(dst, prev, sum []uint16, costRow []uint8, nd int, p1, p2 uint1
 		}
 		return
 	}
+	prev = prev[:nd]
 	minPrev := prev[0]
 	for d := 1; d < nd; d++ {
 		minPrev = min(minPrev, prev[d])
 	}
 	jump := satAdd16(minPrev, p2)
-	if nd == 1 {
+	if nd < 2 {
 		v := satAdd16(uint16(costRow[0]), min(prev[0], jump)-minPrev)
 		dst[0] = v
 		sum[0] = satAdd16(sum[0], v)
@@ -72,11 +88,20 @@ func sgmStepFixed(dst, prev, sum []uint16, costRow []uint8, nd int, p1, p2 uint1
 	v := satAdd16(uint16(costRow[0]), best-minPrev)
 	dst[0] = v
 	sum[0] = satAdd16(sum[0], v)
-	for d := 1; d < nd-1; d++ {
-		best = min(min(prev[d], jump), satAdd16(min(prev[d-1], prev[d+1]), p1))
-		v = satAdd16(uint16(costRow[d]), best-minPrev)
-		dst[d] = v
-		sum[d] = satAdd16(sum[d], v)
+	// Interior, d in [1, nd-2]: the three prev taps and the three outputs
+	// are windows sharing one length, so prove elides every check.
+	n := nd - 2
+	pm := prev[:n]
+	pc := prev[1:][:n]
+	pp := prev[2:][:n]
+	dc := dst[1:][:n]
+	sc := sum[1:][:n]
+	cc := costRow[1:][:n]
+	for i, pcv := range pc {
+		best = min(min(pcv, jump), satAdd16(min(pm[i], pp[i]), p1))
+		v = satAdd16(uint16(cc[i]), best-minPrev)
+		dc[i] = v
+		sc[i] = satAdd16(sc[i], v)
 	}
 	// d = nd-1: no d+1 neighbour.
 	best = min(min(prev[nd-1], satAdd16(prev[nd-2], p1)), jump)
