@@ -25,7 +25,7 @@ FUZZ_TARGETS := \
 # Minimum total test coverage (percent) enforced by `make cover` and CI.
 COVER_THRESHOLD := 80
 
-.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate eval-json serve-smoke cluster-smoke perception-smoke fmt fmt-check vet lint lint-fix perf-gate check fuzz-smoke cover
+.PHONY: build test race bench bench-json serve-bench-json kernels-json kernels-gate eval-json ladder-json serve-smoke cluster-smoke perception-smoke degrade-smoke fmt fmt-check vet lint lint-fix perf-gate check fuzz-smoke cover
 
 build:
 	go build ./...
@@ -66,6 +66,11 @@ kernels-gate:
 eval-json:
 	go run ./cmd/asveval -json BENCH_eval.json
 
+# Regenerate quality_ladder.json, the committed per-rung accuracy/cost
+# pricing of the operating-point ladder the server degrades along.
+ladder-json:
+	go run ./cmd/asveval -ladder quality_ladder.json
+
 # End-to-end smoke of the serving layer: boot asvserve on a random port,
 # push ~50 requests through asvload, assert latency was reported and no
 # request failed server-side, then drain via SIGTERM.
@@ -83,6 +88,12 @@ cluster-smoke:
 # disparity/depth/point-cloud responses are well-formed.
 perception-smoke:
 	./scripts/perception_smoke.sh
+
+# End-to-end smoke of overload degradation: a starved asvserve (1 worker,
+# paced key matcher) flooded with best-effort sessions must answer every
+# frame by stepping down the quality ladder — zero 429s, some degraded.
+degrade-smoke:
+	./scripts/degrade_smoke.sh
 
 fmt:
 	gofmt -w .
@@ -132,4 +143,4 @@ cover:
 	if [ "$$ok" != 1 ]; then \
 		echo "coverage $$total% is below the $(COVER_THRESHOLD)% floor" >&2; exit 1; fi
 
-check: build vet lint perf-gate fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke perception-smoke cover kernels-gate
+check: build vet lint perf-gate fmt-check test race bench fuzz-smoke serve-smoke cluster-smoke perception-smoke degrade-smoke cover kernels-gate

@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
 	"strings"
 	"text/tabwriter"
 
@@ -458,7 +459,35 @@ func serveBench() {
 		[][]string{shardRow("1", ms.OneShard), shardRow("2", ms.TwoShard)})
 	fmt.Printf("  2-shard scaling: %.2fx\n", ms.ScaleX)
 
-	if doc.Normal.Status5xx > 0 || doc.Overload.Status5xx > 0 ||
+	dg := doc.Degrade
+	table(fmt.Sprintf("Degrade ladder: %d best-effort sessions, %d ms frames, %.0f ms deadline",
+		dg.Sessions, dg.FrameMs, dg.DeadlineMs),
+		[]string{"phase", "req", "ok", "429", "5xx", "degraded", "p50-ms", "p99-ms", "ok-frac"},
+		[][]string{
+			{"overload (gold)", fmt.Sprintf("%d", doc.Overload.Requests), fmt.Sprintf("%d", doc.Overload.OK),
+				fmt.Sprintf("%d", doc.Overload.Rejected), fmt.Sprintf("%d", doc.Overload.Status5xx), "0",
+				fmt.Sprintf("%.1f", doc.Overload.P50Ms), fmt.Sprintf("%.1f", doc.Overload.P99Ms),
+				fmt.Sprintf("%.2f", dg.BaselineOKFrac)},
+			{"degrade (b-e)", fmt.Sprintf("%d", dg.BestEffort.Requests), fmt.Sprintf("%d", dg.BestEffort.OK),
+				fmt.Sprintf("%d", dg.BestEffort.Rejected), fmt.Sprintf("%d", dg.BestEffort.Status5xx),
+				fmt.Sprintf("%d", dg.BestEffort.Degraded),
+				fmt.Sprintf("%.1f", dg.BestEffort.P50Ms), fmt.Sprintf("%.1f", dg.BestEffort.P99Ms),
+				fmt.Sprintf("%.2f", dg.OKFrac)},
+		})
+	if len(dg.BestEffort.Rungs) > 0 {
+		names := make([]string, 0, len(dg.BestEffort.Rungs))
+		for name := range dg.BestEffort.Rungs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s %d", name, dg.BestEffort.Rungs[name]))
+		}
+		fmt.Printf("  rungs served: %s\n", strings.Join(parts, "  "))
+	}
+
+	if doc.Normal.Status5xx > 0 || doc.Overload.Status5xx > 0 || dg.BestEffort.Status5xx > 0 ||
 		ms.OneShard.Status5xx > 0 || ms.TwoShard.Status5xx > 0 {
 		fmt.Fprintln(os.Stderr, "serve bench: observed 5xx responses")
 		os.Exit(1)
@@ -469,6 +498,24 @@ func serveBench() {
 	}
 	if ms.ScaleX < 1.6 {
 		fmt.Fprintf(os.Stderr, "serve bench: 2-shard scaling %.2fx below the 1.6x floor\n", ms.ScaleX)
+		os.Exit(1)
+	}
+	if dg.BestEffort.Rejected > 0 || dg.BestEffort.Dropped > 0 {
+		fmt.Fprintf(os.Stderr, "serve bench: degrade phase rejected %d / dropped %d best-effort frames (want 0 — degrade, don't refuse)\n",
+			dg.BestEffort.Rejected, dg.BestEffort.Dropped)
+		os.Exit(1)
+	}
+	if dg.BestEffort.Degraded == 0 {
+		fmt.Fprintln(os.Stderr, "serve bench: degrade phase never stepped below the top rung")
+		os.Exit(1)
+	}
+	if dg.OKFrac < 0.8 {
+		fmt.Fprintf(os.Stderr, "serve bench: degrade phase served-ok fraction %.2f below the 0.80 floor\n", dg.OKFrac)
+		os.Exit(1)
+	}
+	if dg.OKFrac <= dg.BaselineOKFrac {
+		fmt.Fprintf(os.Stderr, "serve bench: degrading (%.2f ok) did not beat rejecting (%.2f ok)\n",
+			dg.OKFrac, dg.BaselineOKFrac)
 		os.Exit(1)
 	}
 

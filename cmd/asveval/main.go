@@ -15,6 +15,7 @@
 //	asveval                              # text table
 //	asveval -json BENCH_eval.json        # machine output
 //	asveval -presets kitti -matchers sgm -pw 1,4
+//	asveval -ladder quality_ladder.json  # price the operating-point ladder
 package main
 
 import (
@@ -73,6 +74,7 @@ func run(args []string, out io.Writer) error {
 	matchers := fs.String("matchers", "bm,sgm", "comma-separated key matchers (bm|sgm)")
 	pws := fs.String("pw", "1,2,4", "comma-separated propagation windows")
 	jsonPath := fs.String("json", "", "also write the report to this JSON file")
+	ladderPath := fs.String("ladder", "", "price the default operating-point ladder and write it to this JSON file (skips the eval sweep)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -88,6 +90,11 @@ func run(args []string, out io.Writer) error {
 	presetList, matcherList := splitList(*presets), splitList(*matchers)
 	if len(presetList) == 0 || len(matcherList) == 0 || len(pwList) == 0 {
 		return fmt.Errorf("presets, matchers and pw must each be non-empty")
+	}
+
+	if *ladderPath != "" {
+		return priceLadder(fs, out, *ladderPath, *width, *height, *frames, *seed,
+			presetList[0], matcherList[0], pwList[0])
 	}
 
 	rep := EvalReport{W: *width, H: *height, Frames: *frames, Seed: *seed}
@@ -130,6 +137,65 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "wrote %s\n", *jsonPath)
 	}
+	return nil
+}
+
+// priceLadder scores the committed operating-point ladder against the
+// dataset oracle through the exact executor the serving layer degrades
+// with, and writes the quality_ladder.json document. Flags the user left
+// at their eval defaults fall back to the pricing defaults (96×64, 12
+// frames, PW 4) so a bare `-ladder` run regenerates the committed file.
+func priceLadder(fs *flag.FlagSet, out io.Writer, path string, w, h, frames int, seed int64, preset, matcher string, pw int) error {
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	pc := asv.LadderPriceConfig{Preset: preset}
+	if set["w"] {
+		pc.W = w
+	}
+	if set["h"] {
+		pc.H = h
+	}
+	if set["frames"] {
+		pc.Frames = frames
+	}
+	if set["seed"] {
+		pc.Seed = seed
+	}
+	if set["pw"] {
+		pc.PW = pw
+	}
+	km, err := makeMatcher(matcher)
+	if err != nil {
+		return err
+	}
+	doc, err := asv.PriceQualityLadder(asv.DefaultQualityLadder(), km, pc)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "ladder pricing: %dx%d, %d frames, PW %d, seed %d, preset %s, top matcher %s\n",
+		doc.W, doc.H, doc.Frames, doc.PW, doc.Seed, doc.Preset, matcher)
+	tw := tabwriter.NewWriter(out, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "rung\tmatcher\tfixed\tPW×\tpyr\tkey rate\tbad-1 %\tbad-3 %\tMMACs/frame")
+	for _, r := range doc.Rungs {
+		m := r.OP.Matcher
+		if m == "" {
+			m = matcher
+		}
+		fmt.Fprintf(tw, "%s\t%s\t%v\t%d\t%d\t%.2f\t%.4f\t%.4f\t%.1f\n",
+			r.Name, m, r.OP.Fixed, r.OP.PWStretch, r.OP.PyrLevel, r.KeyRate, r.Bad1, r.Bad3, r.MMACs)
+	}
+	//asvlint:ignore droppederr -- tabwriter to an in-memory/stdout writer
+	tw.Flush()
+
+	buf, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(buf, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "wrote %s\n", path)
 	return nil
 }
 

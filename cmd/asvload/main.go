@@ -56,6 +56,8 @@ func run(args []string, out io.Writer) error {
 	raw := fs.Bool("raw", false, "ship RAW (misaligned) uploads against calibrated sessions; the server rectifies before matching (implies -upload)")
 	format := fs.String("format", "json", "response format each frame requests (json|disparity|depth|cloud)")
 	mixed := fs.Bool("mixed", false, "cycle sessions through rectified/raw uploads and all response formats (overrides -raw/-format per session)")
+	slo := fs.String("slo", "", "session service class (gold|besteffort); besteffort lets the server degrade accuracy under load instead of rejecting")
+	deadlineMs := fs.Float64("deadline-ms", 0, "per-frame latency target for besteffort sessions (0 = server default)")
 	retry429 := fs.Int("retry-429", 0, "retries per 429'd frame after honoring Retry-After (0 = default, negative disables)")
 	timeout := fs.Duration("timeout", 30*time.Second, "per-request timeout")
 	asJSON := fs.Bool("json", false, "emit the report as JSON instead of text")
@@ -64,21 +66,23 @@ func run(args []string, out io.Writer) error {
 	}
 
 	cfg := asv.ServeLoadConfig{
-		BaseURL:  *addr,
-		Sessions: *sessions,
-		Frames:   *frames,
-		QPS:      *qps,
-		W:        *width,
-		H:        *height,
-		PW:       *pw,
-		Preset:   *preset,
-		Seed:     *seed,
-		Upload:   *upload,
-		Raw:      *raw,
-		Format:   *format,
-		Mixed:    *mixed,
-		Retry429: *retry429,
-		Timeout:  *timeout,
+		BaseURL:    *addr,
+		Sessions:   *sessions,
+		Frames:     *frames,
+		QPS:        *qps,
+		W:          *width,
+		H:          *height,
+		PW:         *pw,
+		Preset:     *preset,
+		Seed:       *seed,
+		Upload:     *upload,
+		Raw:        *raw,
+		Format:     *format,
+		Mixed:      *mixed,
+		SLO:        *slo,
+		DeadlineMs: *deadlineMs,
+		Retry429:   *retry429,
+		Timeout:    *timeout,
 	}
 
 	if *addrs != "" {
@@ -137,6 +141,18 @@ func printReport(out io.Writer, label string, rep asv.ServeLoadReport) {
 	if rep.DepthMaps > 0 || rep.Clouds > 0 {
 		fmt.Fprintf(out, "  perception: depth maps %d  clouds %d (%d points)\n",
 			rep.DepthMaps, rep.Clouds, rep.CloudPts)
+	}
+	if len(rep.Rungs) > 0 {
+		names := make([]string, 0, len(rep.Rungs))
+		for name := range rep.Rungs {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		parts := make([]string, 0, len(names))
+		for _, name := range names {
+			parts = append(parts, fmt.Sprintf("%s %d", name, rep.Rungs[name]))
+		}
+		fmt.Fprintf(out, "  rungs: %s  (degraded %d)\n", strings.Join(parts, "  "), rep.Degraded)
 	}
 	fmt.Fprintf(out, "  latency ms: p50 %.1f  p95 %.1f  p99 %.1f  max %.1f\n",
 		rep.P50Ms, rep.P95Ms, rep.P99Ms, rep.MaxMs)

@@ -59,6 +59,9 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	matcherName := fs.String("matcher", "bm", "key-frame matcher (bm|sgm)")
 	maxDisp := fs.Int("maxdisp", 24, "matcher disparity search range")
 	fixed := fs.Bool("fixed", false, "use the fixed-point matching kernels (key matcher + guided refine)")
+	deadline := fs.Duration("deadline", 0, "default per-frame latency target for best-effort sessions (0 = server default)")
+	overcommit := fs.Int("overcommit", 0, "best-effort admission bound as a multiple of -queue (0 = default)")
+	pacedFrameMs := fs.Int("paced-frame-ms", 0, "pace the key matcher to a fixed per-Match budget in ms (0 = off; for reproducible overload/degrade demos)")
 	drainTimeout := fs.Duration("drain-timeout", 30*time.Second, "max time to wait for in-flight work at shutdown")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -79,9 +82,18 @@ func run(ctx context.Context, args []string, out io.Writer) error {
 	default:
 		return fmt.Errorf("unknown matcher %q (bm|sgm)", *matcherName)
 	}
+	if *pacedFrameMs > 0 {
+		matcher = asv.NewPacedKeyMatcher(matcher, time.Duration(*pacedFrameMs)*time.Millisecond)
+	}
 
 	cfg := asv.DefaultServeConfig()
 	cfg.Pipeline.BM.Fixed = *fixed
+	if *deadline > 0 {
+		cfg.DefaultDeadline = *deadline
+	}
+	if *overcommit > 0 {
+		cfg.BestEffortOvercommit = *overcommit
+	}
 	if *workers > 0 {
 		cfg.Workers = *workers
 	}

@@ -142,6 +142,17 @@ func New(matcher KeyMatcher, cfg Config) *Pipeline {
 // Config returns the pipeline's (validated) configuration.
 func (p *Pipeline) Config() Config { return p.cfg }
 
+// SetConfig replaces the pipeline's tuning parameters in place, leaving the
+// temporal state untouched. The quality ladder uses it to flip the
+// fixed-point refine kernels around degraded frames; callers that change
+// parameters the temporal kernels are sensitive to (flow options, refine
+// radius) own the accuracy consequences. Panics, like New, on an invalid
+// configuration.
+func (p *Pipeline) SetConfig(cfg Config) {
+	cfg.validate()
+	p.cfg = cfg
+}
+
 // PrevFrames returns the previous frame's left and right images — the
 // reference inputs a motion estimator needs to compute flow to the current
 // frame — or nil before the first key frame. External drivers (the
@@ -161,6 +172,13 @@ func (p *Pipeline) Reset() {
 
 // FrameIndex returns the number of frames processed since the last Reset.
 func (p *Pipeline) FrameIndex() int { return p.frameIdx }
+
+// SinceKey returns the number of frames since the last key commit (1 means
+// the key frame itself was the previous frame), or 0 before any key frame.
+// External schedulers (the quality ladder's stretched-window rule) key off
+// it because, unlike the frame index, it stays coherent when the effective
+// window changes mid-stream.
+func (p *Pipeline) SinceKey() int { return p.sinceKey }
 
 // NextIsKey reports whether the next Process call will treat its frame as a
 // key frame: the static PW schedule by default, or the motion-triggered

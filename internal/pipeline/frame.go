@@ -25,9 +25,23 @@ import (
 // must be called from one goroutine at a time per pipeline; the serving
 // layer serializes calls per session.
 func ProcessFrame(p *core.Pipeline, matcher core.KeyMatcher, left, right *imgproc.Image, m *metrics.Registry) core.Result {
+	return ProcessFrameAs(p, matcher, left, right, p.NextIsKey(), m)
+}
+
+// ProcessFrameAs is ProcessFrame with the key decision made by the caller
+// instead of the pipeline's own schedule. The quality ladder uses it to run
+// stretched propagation windows (key every basePW*stretch frames, decided
+// off core's since-key counter) through exactly the same kernels and stage
+// metrics as the standard path. Passing p.NextIsKey() makes it identical to
+// ProcessFrame. isKey is ignored — forced true — while the pipeline has no
+// committed disparity to propagate from (first frame, or after a Reset).
+func ProcessFrameAs(p *core.Pipeline, matcher core.KeyMatcher, left, right *imgproc.Image, isKey bool, m *metrics.Registry) core.Result {
+	if l, _ := p.PrevFrames(); l == nil {
+		isKey = true
+	}
 	t0 := time.Now()
 	var res core.Result
-	if p.NextIsKey() {
+	if isKey {
 		if matcher == nil {
 			panic("pipeline: key frame reached with nil KeyMatcher")
 		}

@@ -1,0 +1,78 @@
+package quality
+
+import (
+	"testing"
+
+	"asv/internal/core"
+	"asv/internal/stereo"
+)
+
+func TestPriceDefaultLadder(t *testing.T) {
+	top := core.BMMatcher{Opt: stereo.DefaultBMOptions()}
+	pc := PriceConfig{W: 48, H: 32, Frames: 8, PW: 2, Seed: 5}
+	doc, err := Price(DefaultLadder(), top, pc)
+	if err != nil {
+		t.Fatalf("Price: %v", err)
+	}
+	if len(doc.Rungs) != len(DefaultLadder()) {
+		t.Fatalf("priced %d rungs, want %d", len(doc.Rungs), len(DefaultLadder()))
+	}
+	if doc.W != 48 || doc.Frames != 8 || doc.Preset != "sceneflow" {
+		t.Errorf("config echo wrong: %+v", doc)
+	}
+	for _, pr := range doc.Rungs {
+		if pr.MMACs <= 0 {
+			t.Errorf("rung %q: non-positive cost %v", pr.Name, pr.MMACs)
+		}
+		if pr.Bad3 < 0 || pr.Bad3 > 100 {
+			t.Errorf("rung %q: bad3 %v out of [0,100]", pr.Name, pr.Bad3)
+		}
+		if pr.Bad1 < pr.Bad3 {
+			t.Errorf("rung %q: bad1 %v < bad3 %v (thresholds are nested)", pr.Name, pr.Bad1, pr.Bad3)
+		}
+		if pr.KeyRate <= 0 || pr.KeyRate > 1 {
+			t.Errorf("rung %q: key rate %v out of (0,1]", pr.Name, pr.KeyRate)
+		}
+	}
+	// The ladder must actually be a cost ladder: the bottom rung is strictly
+	// cheaper than the top, and stretching the window lowers the key rate.
+	top3 := doc.Rungs[0]
+	bottom := doc.Rungs[len(doc.Rungs)-1]
+	if bottom.MMACs >= top3.MMACs {
+		t.Errorf("bottom rung costs %.2f MMACs, not cheaper than top %.2f", bottom.MMACs, top3.MMACs)
+	}
+	var full, stretch2 *PricedRung
+	for i := range doc.Rungs {
+		switch doc.Rungs[i].Name {
+		case "full":
+			full = &doc.Rungs[i]
+		case "stretch2":
+			stretch2 = &doc.Rungs[i]
+		}
+	}
+	if full == nil || stretch2 == nil {
+		t.Fatal("default ladder lost its full/stretch2 rungs")
+	}
+	if stretch2.KeyRate >= full.KeyRate {
+		t.Errorf("stretch2 key rate %v not below full %v", stretch2.KeyRate, full.KeyRate)
+	}
+}
+
+func TestPriceRejectsInvalidLadder(t *testing.T) {
+	top := core.BMMatcher{Opt: stereo.DefaultBMOptions()}
+	if _, err := Price(Ladder{}, top, PriceConfig{}); err == nil {
+		t.Error("Price accepted an empty ladder")
+	}
+}
+
+func TestPriceKITTIPreset(t *testing.T) {
+	top := core.BMMatcher{Opt: stereo.DefaultBMOptions()}
+	pc := PriceConfig{W: 48, H: 32, Frames: 4, PW: 2, Seed: 3, Preset: "kitti"}
+	doc, err := Price(Ladder{{Name: "full", OP: OperatingPoint{PWStretch: 1}}}, top, pc)
+	if err != nil {
+		t.Fatalf("Price(kitti): %v", err)
+	}
+	if doc.Preset != "kitti" || len(doc.Rungs) != 1 {
+		t.Fatalf("unexpected doc: %+v", doc)
+	}
+}

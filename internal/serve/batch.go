@@ -8,6 +8,7 @@ import (
 	"asv/internal/core"
 	"asv/internal/imgproc"
 	"asv/internal/pipeline"
+	"asv/internal/quality"
 	"asv/internal/stereo"
 )
 
@@ -29,6 +30,7 @@ type workItem struct {
 type frameReply struct {
 	res       core.Result
 	frame     int // per-session frame index (0-based)
+	rung      int // ladder rung the frame was served at (0 = full fidelity)
 	stats     stereo.DispStats
 	queueWait time.Duration
 	compute   time.Duration
@@ -277,16 +279,53 @@ func (b *batcher) runFrame(it *workItem, rep *frameReply) (checkpoint []byte) {
 		rep.left = left
 	}
 
+	// Rung choice (DESIGN.md §12). Gold sessions run the unchanged rung-0
+	// path — pipeline.ProcessFrame with the server's matcher, bit-identical
+	// to the pre-ladder server. Best-effort sessions ask the controller for
+	// the cheapest rung predicted to meet their deadline at the current
+	// queue depth and run it through quality.Step (the same executor the
+	// offline pricer scores, so quality_ladder.json prices what is served).
+	rung := 0
+	if it.sess.slo == quality.BestEffort {
+		queued := int(b.s.inflight.Load()) - 1 // frames waiting behind this one
+		rung, _ = b.s.ctl.Pick(queued, b.s.cfg.Workers, it.sess.deadlineMs)
+	}
+	r := b.s.ladder[rung]
+	if r.OP.PyrLevel != it.sess.level {
+		// The flow kernels require consecutive frames to agree in size, so
+		// a cross-level rung switch restarts the temporal chain; the next
+		// frame below recovers with a key frame at the new resolution.
+		it.sess.pipe.Reset()
+		it.sess.level = r.OP.PyrLevel
+	}
+
 	t0 := time.Now()
-	res := pipeline.ProcessFrame(it.sess.pipe, b.s.matcher, left, right, b.s.cfg.Metrics)
+	var res core.Result
+	if it.sess.slo == quality.Gold {
+		res = pipeline.ProcessFrame(it.sess.pipe, b.s.matcher, left, right, b.s.cfg.Metrics)
+	} else {
+		res = quality.Step(it.sess.pipe, r, it.sess.pw, b.s.rungMatchers[rung], left, right, b.s.cfg.Metrics)
+	}
 	rep.compute = time.Since(t0)
 	rep.res = res
+	rep.rung = rung
 	rep.frame = int(it.sess.frames.Add(1)) - 1
 	if res.IsKey {
 		it.sess.keyFrames.Add(1)
 	}
 	rep.stats = stereo.DisparityStats(res.Disparity)
 	it.sess.touch()
+
+	// Every completed frame trains the controller's latency model for the
+	// rung it ran at — gold traffic keeps rung 0 priced even when no
+	// best-effort session is degraded.
+	b.s.ctl.Observe(rung, float64(rep.compute)/1e6)
+	b.s.rungServed[rung].Add(1)
+	it.sess.lastRung.Store(int64(rung))
+	if rung > 0 {
+		b.s.degradedTotal.Add(1)
+		it.sess.degradedFrames.Add(1)
+	}
 
 	if n := b.s.cfg.CheckpointEvery; n > 0 && b.s.cfg.SpillDir != "" && (rep.frame+1)%n == 0 {
 		checkpoint = EncodeSnapshot(b.s.snapshotLocked(it.sess))

@@ -59,6 +59,13 @@ type LoadConfig struct {
 	// the measured scaling is deterministic rather than at the mercy of a
 	// random id split. Ids must satisfy the server's [A-Za-z0-9._-] rule.
 	IDs []string `json:"-"`
+	// SLO is the service class every session of this run declares: ""/"gold"
+	// (never degraded, overload answers 429) or "besteffort" (the server may
+	// degrade frames down the quality ladder instead of rejecting them).
+	SLO string `json:"slo,omitempty"`
+	// DeadlineMs is the per-frame latency target best-effort sessions carry
+	// (0 uses the server default). Ignored for gold runs.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 	// Retry429 is how many times a 429'd frame is retried (after honoring
 	// the Retry-After hint) before it is abandoned. Zero keeps the default;
 	// negative disables retries.
@@ -114,26 +121,31 @@ func (c LoadConfig) withDefaults() LoadConfig {
 // LoadReport aggregates one run. Latency percentiles cover successful frame
 // submissions only; error counts cover everything else.
 type LoadReport struct {
-	Requests   int     `json:"requests"`
-	OK         int     `json:"ok"`
-	Rejected   int     `json:"rejected_429"`
-	Retries    int     `json:"retries_429"` // 429s that were retried (⊆ Rejected)
-	Dropped    int     `json:"dropped"`     // frames abandoned after exhausting retries
-	Status4xx  int     `json:"status_4xx"`  // non-429 client errors
-	Status5xx  int     `json:"status_5xx"`
-	Transport  int     `json:"transport_errors"`
-	KeyFrames  int     `json:"key_frames"`
-	NonKey     int     `json:"non_key_frames"`
-	DepthMaps  int     `json:"depth_maps"`   // frames answered as metric depth
-	Clouds     int     `json:"clouds"`       // frames answered as point clouds
-	CloudPts   int64   `json:"cloud_points"` // total points across cloud replies
-	DurationMs float64 `json:"duration_ms"`
-	AchievedTP float64 `json:"achieved_rps"` // completed requests / duration
-	OKRps      float64 `json:"ok_rps"`       // successful frames / duration
-	P50Ms      float64 `json:"p50_ms"`
-	P95Ms      float64 `json:"p95_ms"`
-	P99Ms      float64 `json:"p99_ms"`
-	MaxMs      float64 `json:"max_ms"`
+	Requests  int   `json:"requests"`
+	OK        int   `json:"ok"`
+	Rejected  int   `json:"rejected_429"`
+	Retries   int   `json:"retries_429"` // 429s that were retried (⊆ Rejected)
+	Dropped   int   `json:"dropped"`     // frames abandoned after exhausting retries
+	Status4xx int   `json:"status_4xx"`  // non-429 client errors
+	Status5xx int   `json:"status_5xx"`
+	Transport int   `json:"transport_errors"`
+	KeyFrames int   `json:"key_frames"`
+	NonKey    int   `json:"non_key_frames"`
+	DepthMaps int   `json:"depth_maps"`   // frames answered as metric depth
+	Clouds    int   `json:"clouds"`       // frames answered as point clouds
+	CloudPts  int64 `json:"cloud_points"` // total points across cloud replies
+	// Degraded counts OK frames served below the ladder's top rung; Rungs
+	// breaks all OK frames down by the rung name the reply carried
+	// (X-ASV-Rung). Servers predating the ladder report neither.
+	Degraded   int            `json:"degraded,omitempty"`
+	Rungs      map[string]int `json:"rungs,omitempty"`
+	DurationMs float64        `json:"duration_ms"`
+	AchievedTP float64        `json:"achieved_rps"` // completed requests / duration
+	OKRps      float64        `json:"ok_rps"`       // successful frames / duration
+	P50Ms      float64        `json:"p50_ms"`
+	P95Ms      float64        `json:"p95_ms"`
+	P99Ms      float64        `json:"p99_ms"`
+	MaxMs      float64        `json:"max_ms"`
 }
 
 // ClusterLoadReport is a cluster-mode run: one LoadReport per endpoint plus
@@ -152,7 +164,7 @@ type collector struct {
 	samples []float64 // latency ms of OK requests, unsorted until finish
 }
 
-func (c *collector) record(status int, d time.Duration, isKey bool, transportErr bool, format string, points int) {
+func (c *collector) record(status int, d time.Duration, isKey bool, transportErr bool, format string, points int, rung string, degraded bool) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.rep.Requests++
@@ -166,6 +178,15 @@ func (c *collector) record(status int, d time.Duration, isKey bool, transportErr
 			c.rep.KeyFrames++
 		} else {
 			c.rep.NonKey++
+		}
+		if rung != "" {
+			if c.rep.Rungs == nil {
+				c.rep.Rungs = make(map[string]int)
+			}
+			c.rep.Rungs[rung]++
+		}
+		if degraded {
+			c.rep.Degraded++
 		}
 		switch format {
 		case "depth":
@@ -297,6 +318,13 @@ func RunLoadCluster(cfg LoadConfig, targets []string) (ClusterLoadReport, error)
 		agg.DepthMaps += r.rep.DepthMaps
 		agg.Clouds += r.rep.Clouds
 		agg.CloudPts += r.rep.CloudPts
+		agg.Degraded += r.rep.Degraded
+		for rung, n := range r.rep.Rungs {
+			if agg.Rungs == nil {
+				agg.Rungs = make(map[string]int)
+			}
+			agg.Rungs[rung] += n
+		}
 		all = append(all, r.samples...)
 	}
 	out.Aggregate.DurationMs = float64(elapsed) / 1e6
@@ -436,13 +464,13 @@ func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 						contentType = p.contentType
 					}
 					tReq := time.Now()
-					status, isKey, points, retryAfter, err := submitFrame(client, cfg.BaseURL, ids[i], query, body, contentType)
+					res, err := submitFrame(client, cfg.BaseURL, ids[i], query, body, contentType)
 					if err != nil {
-						col.record(0, 0, false, true, format, 0)
+						col.record(0, 0, false, true, format, 0, "", false)
 						break
 					}
-					col.record(status, time.Since(tReq), isKey, false, format, points)
-					if status != http.StatusTooManyRequests {
+					col.record(res.status, time.Since(tReq), res.isKey, false, format, res.points, res.rung, res.degraded)
+					if res.status != http.StatusTooManyRequests {
 						break
 					}
 					if attempt >= cfg.Retry429 {
@@ -452,7 +480,7 @@ func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 					col.retried()
 					// Honor the server's Retry-After hint, capped so a
 					// saturated smoke run is not dominated by sleeping.
-					wait := retryAfter
+					wait := res.retryAfter
 					if wait <= 0 || wait > cfg.Max429Wait {
 						wait = cfg.Max429Wait
 					}
@@ -471,7 +499,7 @@ func runLoad(cfg LoadConfig) (LoadReport, []float64, error) {
 // createSession opens one serving session; preset mode asks the server to
 // synthesize frames, upload mode leaves the session empty.
 func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
-	req := CreateSessionRequest{PW: cfg.PW}
+	req := CreateSessionRequest{PW: cfg.PW, SLO: cfg.SLO, DeadlineMs: cfg.DeadlineMs}
 	if i < len(cfg.IDs) {
 		req.ID = cfg.IDs[i]
 	}
@@ -509,26 +537,38 @@ func createSession(client *http.Client, cfg LoadConfig, i int) (string, error) {
 	return info.ID, nil
 }
 
+// submitResult is what one frame submission yielded: the HTTP status, the
+// stats the reply carried (key split, cloud points, served rung), and the
+// Retry-After hint on 429s.
+type submitResult struct {
+	status     int
+	isKey      bool
+	points     int
+	rung       string
+	degraded   bool
+	retryAfter time.Duration
+}
+
 // submitFrame posts one frame (query selects the response format) and
 // parses just enough of the reply: the JSON stats for the default format,
-// the X-ASV-* headers for the binary ones. The body is always fully drained
-// and closed — on the decode-failure and non-200 paths too — so the
-// client's connection pool actually gets reuse instead of leaking a
-// connection per error.
-func submitFrame(client *http.Client, baseURL, id, query string, body io.Reader, contentType string) (status int, isKey bool, points int, retryAfter time.Duration, err error) {
+// the X-ASV-* headers for the binary ones (the served rung always travels
+// in headers). The body is always fully drained and closed — on the
+// decode-failure and non-200 paths too — so the client's connection pool
+// actually gets reuse instead of leaking a connection per error.
+func submitFrame(client *http.Client, baseURL, id, query string, body io.Reader, contentType string) (submitResult, error) {
 	if body == nil {
 		body = bytes.NewReader(nil)
 	}
 	req, err := http.NewRequest(http.MethodPost, baseURL+"/v1/sessions/"+id+"/frames"+query, body)
 	if err != nil {
-		return 0, false, 0, 0, err
+		return submitResult{}, err
 	}
 	if contentType != "" {
 		req.Header.Set("Content-Type", contentType)
 	}
 	resp, err := client.Do(req)
 	if err != nil {
-		return 0, false, 0, 0, err
+		return submitResult{}, err
 	}
 	defer func() {
 		// Binary replies (PFM, clouds) are image-sized; drain them fully so
@@ -538,26 +578,31 @@ func submitFrame(client *http.Client, baseURL, id, query string, body io.Reader,
 		//asvlint:ignore droppederr response body close error is not actionable in a load generator
 		resp.Body.Close()
 	}()
+	res := submitResult{status: resp.StatusCode}
 	if resp.StatusCode == http.StatusOK {
+		res.rung = resp.Header.Get("X-ASV-Rung")
+		//asvlint:ignore droppederr header absent on pre-ladder servers; false is the right default
+		res.degraded, _ = strconv.ParseBool(resp.Header.Get("X-ASV-Degraded"))
 		if query != "" {
 			//asvlint:ignore droppederr absent/garbled header reads as false; stats only lose the key split
-			isKey, _ = strconv.ParseBool(resp.Header.Get("X-ASV-Is-Key"))
+			res.isKey, _ = strconv.ParseBool(resp.Header.Get("X-ASV-Is-Key"))
 			//asvlint:ignore droppederr header only present on cloud replies; zero is the right default
-			points, _ = strconv.Atoi(resp.Header.Get("X-ASV-Points"))
-			return resp.StatusCode, isKey, points, 0, nil
+			res.points, _ = strconv.Atoi(resp.Header.Get("X-ASV-Points"))
+			return res, nil
 		}
 		var fr FrameResponse
 		if err := json.NewDecoder(resp.Body).Decode(&fr); err != nil {
-			return resp.StatusCode, false, 0, 0, nil // count as OK; stats only lose key split
+			return res, nil // count as OK; stats only lose key split
 		}
-		return resp.StatusCode, fr.IsKey, 0, 0, nil
+		res.isKey = fr.IsKey
+		return res, nil
 	}
 	if resp.StatusCode == http.StatusTooManyRequests {
 		if secs, err := strconv.Atoi(resp.Header.Get("Retry-After")); err == nil && secs >= 0 {
-			retryAfter = time.Duration(secs) * time.Second
+			res.retryAfter = time.Duration(secs) * time.Second
 		}
 	}
-	return resp.StatusCode, false, 0, retryAfter, nil
+	return res, nil
 }
 
 // framePayload is one pre-encoded multipart upload body.

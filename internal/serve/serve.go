@@ -42,6 +42,7 @@ import (
 	"asv/internal/metrics"
 	"asv/internal/nn"
 	"asv/internal/perception"
+	"asv/internal/quality"
 	"asv/internal/stereo"
 )
 
@@ -100,6 +101,23 @@ type Config struct {
 	// writes a session's snapshot to the spill store every N completed
 	// frames, bounding how much stream state a shard crash can lose.
 	CheckpointEvery int
+	// Ladder is the operating-point ladder best-effort sessions may degrade
+	// along under load (DESIGN.md §12). Nil installs quality.DefaultLadder;
+	// an invalid ladder panics in New (it is a configuration error on par
+	// with a nil matcher). Rung 0 is always the undegraded operating point —
+	// gold sessions never leave it.
+	Ladder quality.Ladder
+	// DefaultDeadline is the per-frame latency target assumed for
+	// best-effort sessions that do not set their own: the ladder controller
+	// picks the cheapest rung predicted to complete within it given the
+	// current queue. Zero means 250ms.
+	DefaultDeadline time.Duration
+	// BestEffortOvercommit multiplies QueueDepth into the admission bound
+	// for best-effort frames: they may queue up to QueueDepth×Overcommit
+	// deep, because degrading drains the backlog far faster than rung-0
+	// service would. Gold frames keep the plain QueueDepth bound. Zero
+	// means 8.
+	BestEffortOvercommit int
 }
 
 // DefaultConfig returns a serving configuration sized for a small host.
@@ -116,6 +134,10 @@ func DefaultConfig() Config {
 		PW:              4,
 		Pipeline:        core.DefaultConfig(),
 		Metrics:         metrics.NewRegistry(),
+		Ladder:          quality.DefaultLadder(),
+		DefaultDeadline: 250 * time.Millisecond,
+
+		BestEffortOvercommit: 8,
 	}
 }
 
@@ -151,6 +173,15 @@ func (c Config) withDefaults() Config {
 	if c.Pipeline.PW == 0 {
 		c.Pipeline = d.Pipeline
 	}
+	if c.Ladder == nil {
+		c.Ladder = d.Ladder
+	}
+	if c.DefaultDeadline <= 0 {
+		c.DefaultDeadline = d.DefaultDeadline
+	}
+	if c.BestEffortOvercommit < 1 {
+		c.BestEffortOvercommit = d.BestEffortOvercommit
+	}
 	return c
 }
 
@@ -164,6 +195,15 @@ type Server struct {
 	mux     *http.ServeMux
 	httpSrv *http.Server // set by Start; nil when mounted via Handler
 	started time.Time
+
+	// Operating-point ladder state (DESIGN.md §12): the validated ladder,
+	// one pre-built key matcher per rung (rung 0 holds the server's
+	// configured matcher, so the top rung stays bit-identical to the
+	// pre-ladder path), and the EWMA latency controller that picks rungs
+	// for best-effort frames.
+	ladder       quality.Ladder
+	rungMatchers []core.KeyMatcher
+	ctl          *quality.Controller
 
 	// serveErr holds the first non-graceful error from Start's accept loop,
 	// reported by Close.
@@ -195,6 +235,11 @@ type Server struct {
 	batches       atomic.Int64
 	batchedFrames atomic.Int64
 	maxBatch      atomic.Int64
+
+	// Ladder counters: frames served per rung (indexed like ladder) and
+	// frames served at any rung below the top (the degradation total).
+	rungServed    []atomic.Int64
+	degradedTotal atomic.Int64
 
 	// Snapshot/spill counters: snapshots served over HTTP, sessions
 	// installed via PUT snapshot, sessions spilled to and restored from the
@@ -236,6 +281,16 @@ func New(matcher core.KeyMatcher, cfg Config) *Server {
 		serveErr:    make(chan error, 1),
 		janitorStop: make(chan struct{}),
 	}
+	s.ladder = s.cfg.Ladder
+	if err := s.ladder.Validate(); err != nil {
+		panic("serve: " + err.Error())
+	}
+	s.rungMatchers = make([]core.KeyMatcher, len(s.ladder))
+	for i, r := range s.ladder {
+		s.rungMatchers[i] = r.BuildMatcher(matcher)
+	}
+	s.ctl = quality.NewController(len(s.ladder))
+	s.rungServed = make([]atomic.Int64, len(s.ladder))
 	s.tab = newSessionTable(s.cfg.MaxSessions)
 	s.b = newBatcher(s)
 	if s.cfg.CostBackend != nil {
@@ -373,6 +428,14 @@ type CreateSessionRequest struct {
 	// every frame is rectified server-side before matching — and unlocks
 	// the ?depth and ?cloud response formats.
 	Calibration json.RawMessage `json:"calibration,omitempty"`
+	// SLO is the session's service class: "gold" (the default) pins the
+	// session to the ladder's top rung and sheds its overload with 429;
+	// "besteffort" lets the server degrade it to cheaper rungs instead.
+	SLO string `json:"slo,omitempty"`
+	// DeadlineMs is a best-effort session's per-frame latency target; the
+	// controller degrades only as far as needed to meet it. Zero uses the
+	// server's DefaultDeadline. Ignored for gold sessions.
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
 }
 
 // SessionInfo is returned by session create/get.
@@ -388,6 +451,15 @@ type SessionInfo struct {
 	// Calibrated reports whether the session carries a camera model (and
 	// therefore serves depth maps and point clouds).
 	Calibrated bool `json:"calibrated,omitempty"`
+	// SLO is the session's service class ("gold" or "besteffort").
+	SLO string `json:"slo"`
+	// DeadlineMs is the per-frame latency target a best-effort session is
+	// degraded to meet (0 for gold sessions).
+	DeadlineMs float64 `json:"deadline_ms,omitempty"`
+	// Rung is the ladder rung the session's latest frame was served at.
+	Rung string `json:"rung,omitempty"`
+	// DegradedFrames counts this session's frames served below the top rung.
+	DegradedFrames int64 `json:"degraded_frames,omitempty"`
 }
 
 // FrameResponse is the JSON reply to a frame submission.
@@ -400,6 +472,10 @@ type FrameResponse struct {
 	Disparity    stereo.DispStats `json:"disparity"`
 	QueueMs      float64          `json:"queue_ms"`
 	ComputeMs    float64          `json:"compute_ms"`
+	// Rung names the ladder rung this frame was served at; Degraded is true
+	// when that was any rung below the top.
+	Rung     string `json:"rung"`
+	Degraded bool   `json:"degraded,omitempty"`
 }
 
 type errorBody struct {
@@ -500,7 +576,19 @@ func (s *Server) CountersSnapshot() map[string]any {
 		"depth_maps_served": s.depthMapsServed.Load(),
 		"clouds_served":     s.cloudsServed.Load(),
 		"cloud_points":      s.cloudPoints.Load(),
+		"frames_degraded":   s.degradedTotal.Load(),
+		"rungs":             s.rungCounts(),
 	}
+}
+
+// rungCounts is the per-rung served-frame tally (rung name → frames), the
+// /metrics view of where on the ladder the server has been operating.
+func (s *Server) rungCounts() map[string]int64 {
+	out := make(map[string]int64, len(s.ladder))
+	for i := range s.ladder {
+		out[s.ladder[i].Name] = s.rungServed[i].Load()
+	}
+	return out
 }
 
 func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
@@ -557,15 +645,33 @@ func (s *Server) handleCreateSession(w http.ResponseWriter, r *http.Request) {
 		calib = c
 	}
 
+	slo, err := quality.ParseClass(req.SLO)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	var deadlineMs float64
+	if slo == quality.BestEffort {
+		deadlineMs = req.DeadlineMs
+		if deadlineMs <= 0 {
+			deadlineMs = float64(s.cfg.DefaultDeadline) / 1e6
+		}
+	} else if req.DeadlineMs != 0 {
+		writeError(w, http.StatusBadRequest, "deadline_ms requires slo=besteffort (gold sessions are never degraded)")
+		return
+	}
+
 	cfg := s.cfg.Pipeline
 	cfg.PW = pw
 	cfg.Postprocess = req.Postprocess
 	sess := &session{
-		id:      id,
-		pw:      pw,
-		pipe:    core.New(s.matcher, cfg),
-		created: time.Now(),
-		calib:   calib,
+		id:         id,
+		pw:         pw,
+		pipe:       core.New(s.matcher, cfg),
+		created:    time.Now(),
+		calib:      calib,
+		slo:        slo,
+		deadlineMs: deadlineMs,
 	}
 	sess.touch()
 
@@ -632,6 +738,12 @@ func (s *Server) info(sess *session) SessionInfo {
 		inf.Preset = sess.preset.name
 	}
 	inf.Calibrated = sess.calib != nil
+	inf.SLO = sess.slo.String()
+	inf.DeadlineMs = sess.deadlineMs
+	if sess.frames.Load() > 0 {
+		inf.Rung = s.ladder[sess.lastRung.Load()].Name
+	}
+	inf.DegradedFrames = sess.degradedFrames.Load()
 	return inf
 }
 
@@ -710,15 +822,32 @@ func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusServiceUnavailable, "server is draining")
 		return
 	}
-	// At most QueueDepth frames may be in the system (queued or
-	// processing); beyond that the server sheds load with 429 +
-	// Retry-After instead of queueing unboundedly.
-	if s.inflight.Add(1) > int64(s.cfg.QueueDepth) {
+	// Admission bound. Gold frames get the plain QueueDepth bound: at most
+	// that many frames in the system (queued or processing), beyond which
+	// the server sheds load with 429 + Retry-After. Best-effort frames may
+	// overcommit the queue — degrading drains it far faster than rung-0
+	// service — but once past the gold bound they are admitted only while
+	// the ladder controller predicts some rung can still meet the session's
+	// deadline; a refusal there means even the bottom rung is exhausted.
+	limit := int64(s.cfg.QueueDepth)
+	if sess.slo == quality.BestEffort {
+		limit = int64(s.cfg.QueueDepth) * int64(s.cfg.BestEffortOvercommit)
+	}
+	cur := s.inflight.Add(1)
+	reject := cur > limit
+	msg := "admission queue full"
+	if !reject && sess.slo == quality.BestEffort && cur > int64(s.cfg.QueueDepth) {
+		if _, admit := s.ctl.Pick(int(cur)-1, s.cfg.Workers, sess.deadlineMs); !admit {
+			reject = true
+			msg = "overloaded: even the cheapest rung cannot meet the session deadline"
+		}
+	}
+	if reject {
 		s.inflight.Add(-1)
 		s.submitWG.Done()
 		s.rejected.Add(1)
-		w.Header().Set("Retry-After", "1")
-		writeError(w, http.StatusTooManyRequests, "admission queue full")
+		w.Header().Set("Retry-After", fmt.Sprint(s.retryAfterHint()))
+		writeError(w, http.StatusTooManyRequests, msg)
 		return
 	}
 	sess.pendingFrames.Add(1)
@@ -744,6 +873,42 @@ func (s *Server) handleSubmitFrame(w http.ResponseWriter, r *http.Request) {
 		// session state must advance) and the buffered reply is dropped.
 		writeError(w, http.StatusServiceUnavailable, "client canceled")
 	}
+}
+
+// retryAfterHint computes the Retry-After value for a 429: the time until
+// the current backlog has drained far enough that a retry has a real chance,
+// from the live queue depth and the observed p95 frame latency.
+func (s *Server) retryAfterHint() int {
+	var p95 time.Duration
+	if s.cfg.Metrics != nil {
+		p95 = s.cfg.Metrics.Stage("frame").Quantile(0.95)
+	}
+	return retryAfterSeconds(int(s.inflight.Load()), s.cfg.Workers, p95)
+}
+
+// retryAfterSeconds estimates how many whole seconds until a queue of depth
+// queued drains across workers at p95 per frame, plus one frame's slack,
+// clamped to [1,30]: never 0 (clients would hammer a saturated server) and
+// never so large that a transient spike parks clients for minutes.
+func retryAfterSeconds(queued, workers int, p95 time.Duration) int {
+	if workers < 1 {
+		workers = 1
+	}
+	if queued < 0 {
+		queued = 0
+	}
+	if p95 <= 0 {
+		return 1
+	}
+	drain := time.Duration(queued/workers+1) * p95
+	secs := int((drain + time.Second - 1) / time.Second)
+	if secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return secs
 }
 
 // replyFormat selects how a completed frame is rendered back to the client.
@@ -807,6 +972,12 @@ func parseReplyFormat(r *http.Request, sess *session) (replyFormat, error) {
 // of the binary formats (stats travel in X-ASV-* headers). Depth and cloud
 // replies triangulate through the session's calibration.
 func (s *Server) writeFrameReply(w http.ResponseWriter, sess *session, format replyFormat, rep frameReply) {
+	// Every reply format carries the served rung in headers, so clients
+	// (and the load generator) see degradation uniformly without parsing
+	// format-specific bodies.
+	rungName := s.ladder[rep.rung].Name
+	w.Header().Set("X-ASV-Rung", rungName)
+	w.Header().Set("X-ASV-Degraded", fmt.Sprint(rep.rung > 0))
 	if format == formatJSON {
 		writeJSON(w, http.StatusOK, FrameResponse{
 			Session:      sess.id,
@@ -817,6 +988,8 @@ func (s *Server) writeFrameReply(w http.ResponseWriter, sess *session, format re
 			Disparity:    rep.stats,
 			QueueMs:      float64(rep.queueWait) / 1e6,
 			ComputeMs:    float64(rep.compute) / 1e6,
+			Rung:         rungName,
+			Degraded:     rep.rung > 0,
 		})
 		return
 	}

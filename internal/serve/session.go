@@ -13,6 +13,7 @@ import (
 	"asv/internal/dataset"
 	"asv/internal/imgproc"
 	"asv/internal/perception"
+	"asv/internal/quality"
 )
 
 // A session owns one ISM state machine: the server runs DNN-oracle (or SGM)
@@ -45,6 +46,25 @@ type session struct {
 	// and point-cloud response formats. Immutable after session creation
 	// (workers read it without the run lock).
 	calib *perception.Calibration
+
+	// slo and deadlineMs are the session's service class and per-frame
+	// latency target (DESIGN.md §12), immutable after creation. Gold
+	// sessions are pinned to the ladder's top rung; best-effort sessions
+	// may be degraded to meet deadlineMs under load.
+	slo        quality.Class
+	deadlineMs float64
+
+	// level is the pyramid level of the rung the previous frame ran at,
+	// guarded by runMu: the flow kernels require consecutive frames to
+	// agree in size, so a rung switch across levels must Reset the
+	// pipeline (costing one key frame at the new resolution).
+	level int
+
+	// lastRung is the ladder index the latest frame was served at;
+	// degradedFrames counts frames served below the top rung. Both feed
+	// SessionInfo.
+	lastRung       atomic.Int64
+	degradedFrames atomic.Int64
 
 	// geoMu guards w/h: the worker pins the session's frame geometry on
 	// first use (the temporal kernels require every frame of a stream to

@@ -53,6 +53,16 @@ func (s *Server) snapshotLocked(sess *session) *SessionSnapshot {
 		H:           h,
 		State:       sess.pipe.State(),
 	}
+	if sess.level != 0 {
+		// The session is currently degraded to a pyramid rung: its temporal
+		// state lives at 1/2^level resolution, which the snapshot geometry
+		// (the full upload size) cannot represent. Ship an empty state
+		// instead — the restored session costs one key frame to re-prime,
+		// the same price as any cross-level rung switch. SLO class is not
+		// serialized (snapshot codec v2 unchanged); restored sessions
+		// default to gold.
+		snap.State = core.State{}
+	}
 	if cfg.Adaptive != nil {
 		a := *cfg.Adaptive
 		snap.Adaptive = &a

@@ -1,0 +1,75 @@
+#!/bin/sh
+# End-to-end smoke test of overload degradation, as run by CI.
+#
+# Boots asvserve with a deliberately starved admission queue (1 worker,
+# queue 2) and a paced key matcher so every top-rung key frame costs a
+# fixed 15 ms, then floods it with best-effort sessions whose 60 ms
+# deadline cannot be met at the top rung under that queue. Asserts the
+# server answered every frame (zero 429/5xx — degrade, don't reject),
+# that at least one frame was actually served below the top rung, and
+# that the report names the rungs used. Finishes with a SIGTERM drain.
+set -eu
+
+workdir=$(mktemp -d)
+trap 'kill "$server_pid" 2>/dev/null || true; rm -rf "$workdir"' EXIT
+server_pid=""
+
+go build -o "$workdir/asvserve" ./cmd/asvserve
+go build -o "$workdir/asvload" ./cmd/asvload
+
+"$workdir/asvserve" -addr 127.0.0.1:0 -portfile "$workdir/port" \
+    -workers 1 -queue 2 -pw 4 -paced-frame-ms 15 \
+    >"$workdir/server.log" 2>&1 &
+server_pid=$!
+
+i=0
+while [ ! -s "$workdir/port" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "degrade-smoke: server never wrote its portfile" >&2
+        cat "$workdir/server.log" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+addr=$(cat "$workdir/port")
+echo "degrade-smoke: server at $addr"
+
+# 8 best-effort sessions bursting as fast as possible against 1 worker:
+# far past the queue, inside the overcommit bound, so the ladder — not
+# backpressure — has to absorb the load.
+"$workdir/asvload" -addr "http://$addr" \
+    -sessions 8 -frames 8 -w 64 -h 48 -pw 4 -qps 0 \
+    -slo besteffort -deadline-ms 60 -json \
+    >"$workdir/report.json"
+cat "$workdir/report.json"
+
+requests=$(jq -r '.requests' "$workdir/report.json")
+ok=$(jq -r '.ok' "$workdir/report.json")
+rejected=$(jq -r '.rejected_429' "$workdir/report.json")
+fail5xx=$(jq -r '.status_5xx' "$workdir/report.json")
+transport=$(jq -r '.transport_errors' "$workdir/report.json")
+degraded=$(jq -r '.degraded // 0' "$workdir/report.json")
+rungs=$(jq -r '.rungs // {} | length' "$workdir/report.json")
+
+[ "$requests" = 64 ] || { echo "degrade-smoke: expected 64 requests, got $requests" >&2; exit 1; }
+[ "$ok" = "$requests" ] || { echo "degrade-smoke: only $ok/$requests frames served" >&2; exit 1; }
+[ "$rejected" = 0 ] || { echo "degrade-smoke: $rejected frames got 429 (should degrade, not reject)" >&2; exit 1; }
+[ "$fail5xx" = 0 ] || { echo "degrade-smoke: $fail5xx server errors" >&2; exit 1; }
+[ "$transport" = 0 ] || { echo "degrade-smoke: $transport transport errors" >&2; exit 1; }
+[ "$degraded" -gt 0 ] || { echo "degrade-smoke: overloaded server never degraded a frame" >&2; exit 1; }
+[ "$rungs" -gt 0 ] || { echo "degrade-smoke: report has no per-rung counts" >&2; exit 1; }
+
+kill -TERM "$server_pid"
+if ! wait "$server_pid"; then
+    echo "degrade-smoke: server exited non-zero after SIGTERM" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+fi
+server_pid=""
+grep -q drained "$workdir/server.log" || {
+    echo "degrade-smoke: no drain confirmation in server log" >&2
+    cat "$workdir/server.log" >&2
+    exit 1
+}
+echo "degrade-smoke: OK ($ok/$requests served, $degraded degraded, 0 rejections, clean drain)"

@@ -114,12 +114,42 @@ type ServeBenchDoc struct {
 	Normal   ServeLoadReport `json:"normal"`
 	Overload ServeLoadReport `json:"overload"`
 
+	// Degrade is the quality-ladder phase: the overload workload again, but
+	// with best-effort sessions, so the server degrades accuracy down the
+	// operating-point ladder instead of shedding availability with 429.
+	Degrade DegradeBench `json:"degrade"`
+
 	// MultiShard is the gateway scaling phase: the same paced workload at
 	// one and two shards, with the throughput ratio. See MultiShardBench.
 	MultiShard MultiShardBench `json:"multi_shard"`
 
 	// ServeCounters is the server's /metrics "serve" section after both
 	// phases (accepted/completed/rejected/batch statistics).
+	ServeCounters map[string]any `json:"serve_counters"`
+}
+
+// DegradeBench records the graceful-degradation phase: the same tiny-queue
+// single-worker server shape that forces 429s in the overload phase, but
+// with a paced rung-0 matcher (deterministic key-frame cost, so the ladder
+// controller's choice is budget-bound rather than host-speed-bound) and
+// best-effort clients carrying a deadline. The pass condition asvbench
+// gates on: zero rejections and drops, a served-ok fraction at least 0.8
+// and strictly above the overload phase's, and at least one frame actually
+// served degraded (the ladder did the work, not luck).
+type DegradeBench struct {
+	FrameMs    int     `json:"frame_ms"`    // paced rung-0 key-frame budget
+	DeadlineMs float64 `json:"deadline_ms"` // per-frame best-effort deadline
+	Sessions   int     `json:"sessions"`
+	Frames     int     `json:"frames"`
+
+	BestEffort ServeLoadReport `json:"best_effort"`
+	// OKFrac is BestEffort.OK / BestEffort.Requests; BaselineOKFrac is the
+	// overload (gold) phase's same ratio, the availability the ladder is
+	// beating.
+	OKFrac         float64 `json:"ok_frac"`
+	BaselineOKFrac float64 `json:"baseline_ok_frac"`
+	// ServeCounters is the degrade server's /metrics "serve" section — the
+	// per-rung served breakdown lives under "rungs".
 	ServeCounters map[string]any `json:"serve_counters"`
 }
 
@@ -211,6 +241,54 @@ func MeasureServeLoad(bc ServeBenchConfig) (ServeBenchDoc, error) {
 		return doc, fmt.Errorf("overload phase close: %w", cerr)
 	}
 
+	// Degrade phase: the overload server shape again (queue 2, one worker),
+	// but the key matcher is paced to a fixed budget and the clients are
+	// best-effort with a deadline of twice that budget. Rung 0's EWMA
+	// settles at or above the paced budget, so once the queue is deeper
+	// than a frame or two the controller's predicted rung-0 latency blows
+	// the deadline and it degrades — while the cheap unpaced rungs drain
+	// the backlog fast enough that nothing is rejected.
+	frameMs := bc.ShardFrameMs
+	deadlineMs := float64(2 * frameMs)
+	dcfg := DefaultServeConfig()
+	dcfg.PW = bc.PW
+	dcfg.QueueDepth = 2
+	dcfg.Workers = 1
+	dcfg.Metrics = metrics.NewRegistry()
+	dsrv := NewServeServer(NewPacedKeyMatcher(matcher, time.Duration(frameMs)*time.Millisecond), dcfg)
+	daddr, err := dsrv.Start("127.0.0.1:0")
+	if err != nil {
+		return doc, fmt.Errorf("starting degrade server: %w", err)
+	}
+	doc.Degrade.FrameMs = frameMs
+	doc.Degrade.DeadlineMs = deadlineMs
+	doc.Degrade.Sessions = 2 * bc.Sessions
+	doc.Degrade.Frames = bc.Frames
+	doc.Degrade.BestEffort, err = RunServeLoad(ServeLoadConfig{
+		BaseURL:  "http://" + daddr.String(),
+		Sessions: 2 * bc.Sessions, Frames: bc.Frames, QPS: 0,
+		W: bc.W, H: bc.H, PW: bc.PW,
+		SLO: "besteffort", DeadlineMs: deadlineMs,
+	})
+	if err == nil {
+		doc.Degrade.ServeCounters = dsrv.CountersSnapshot()
+	}
+	ctx, cancel = context.WithTimeout(context.Background(), 30*time.Second)
+	cerr = dsrv.Close(ctx)
+	cancel()
+	if err != nil {
+		return doc, fmt.Errorf("degrade phase: %w", err)
+	}
+	if cerr != nil {
+		return doc, fmt.Errorf("degrade phase close: %w", cerr)
+	}
+	if doc.Degrade.BestEffort.Requests > 0 {
+		doc.Degrade.OKFrac = float64(doc.Degrade.BestEffort.OK) / float64(doc.Degrade.BestEffort.Requests)
+	}
+	if doc.Overload.Requests > 0 {
+		doc.Degrade.BaselineOKFrac = float64(doc.Overload.OK) / float64(doc.Overload.Requests)
+	}
+
 	// Multi-shard phase: the same workload through a gateway at 1 and 2
 	// shards. Run the 1-shard leg first so a regression shows up as a low
 	// ScaleX rather than a confusing absolute number.
@@ -253,6 +331,14 @@ func (m pacedMatcher) MACs(w, h int) int64 { return m.inner.MACs(w, h) }
 
 func (m pacedMatcher) Name() string {
 	return fmt.Sprintf("paced(%s,%v)", m.inner.Name(), m.frameTime)
+}
+
+// NewPacedKeyMatcher wraps inner so every Match call takes at least
+// frameTime, emulating an accelerator with a deterministic key-frame
+// budget. The degrade bench and asvserve's -paced-frame-ms flag use it to
+// make overload scenarios reproducible on any host.
+func NewPacedKeyMatcher(inner KeyMatcher, frameTime time.Duration) KeyMatcher {
+	return pacedMatcher{inner: inner, frameTime: frameTime}
 }
 
 // runShardPhase boots n paced single-worker shards behind a gateway and
